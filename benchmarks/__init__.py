@@ -1,0 +1,5 @@
+"""Benchmark package: one module per paper table/figure.
+
+Packaged (rather than a loose directory) so ``from benchmarks.conftest
+import run_figure`` resolves under both ``pytest`` and ``python -m pytest``.
+"""

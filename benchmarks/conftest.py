@@ -1,0 +1,43 @@
+"""Benchmark configuration.
+
+Each benchmark module regenerates one table/figure of the paper (see the
+per-experiment index in DESIGN.md) and asserts its qualitative shape.  The
+experiment scale comes from ``LIGER_BENCH_SCALE``:
+
+* ``smoke`` — layer-reduced models, seconds per figure (CI);
+* ``quick`` — full models, headline panels (default);
+* ``full``  — every panel of the paper, wide rate grids (minutes).
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+regenerated tables.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("LIGER_BENCH_SCALE", "quick")
+    if scale not in ("smoke", "quick", "full"):
+        raise ValueError(f"LIGER_BENCH_SCALE must be smoke/quick/full, got {scale}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+def run_figure(benchmark, fig_fn, scale: str):
+    """Run one figure regeneration under pytest-benchmark (single round)."""
+    result = benchmark.pedantic(lambda: fig_fn(scale=scale), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: round(v, 4) for k, v in result.summary.items()}
+    )
+    benchmark.extra_info["scale"] = scale
+    print(f"\n=== {result.figure}: {result.title} [scale={scale}] ===")
+    print(result.text)
+    return result

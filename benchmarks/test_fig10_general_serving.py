@@ -1,0 +1,66 @@
+"""Fig. 10: the headline serving comparison on random traces (§4.2).
+
+Paper shapes asserted:
+* Liger's peak throughput exceeds Intra-Op's (paper: 1.15× V100, 1.52× A100
+  on average; more on the weaker interconnect);
+* pre-saturation, Liger's average latency undercuts Inter-Op's and
+  Inter-Th's (paper: −45.4%/−59.1% V100, −35.8%/−42.2% A100);
+* at the lowest rate Liger's latency matches Intra-Op's (interleaved
+  parallelism degenerates to intra-op when batches don't overlap).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig10
+
+
+def test_fig10_general_serving(benchmark, scale):
+    result = run_figure(benchmark, fig10, scale)
+    s = result.summary
+
+    # Liger out-throughputs Intra-Op on average across panels.
+    assert s["mean_thr_gain_vs_intra"] > 1.05
+    # Liger undercuts both pipelines' latency before saturation.
+    assert s["mean_lat_reduction_vs_inter"] > 0.10
+    assert s["mean_lat_reduction_vs_inter_th"] > 0.10
+
+    # Low-rate degeneration to intra-op, per panel.
+    records = result.records
+    for panel in {r.panel for r in records}:
+        sub = [r for r in records if r.panel == panel]
+        lowest = min(r.rate for r in sub)
+        liger = next(r for r in sub if r.strategy == "liger" and r.rate == lowest)
+        intra = next(r for r in sub if r.strategy == "intra" and r.rate == lowest)
+        assert liger.avg_latency_ms <= intra.avg_latency_ms * 1.08, panel
+
+    # The weaker interconnect benefits more (§4.2): A100 gain ≥ V100 gain.
+    v100 = [v for k, v in s.items() if "v100" in k and "thr_vs_intra" in k]
+    a100 = [v for k, v in s.items() if "a100" in k and "thr_vs_intra" in k]
+    if v100 and a100:
+        assert max(a100) >= max(v100) * 0.95
+
+
+def test_fig10_inter_th_beats_inter_on_largest_models(benchmark, scale):
+    """The Fig. 10(j)(k) anomaly — only visible when the large-model panels
+    run (scale=full); at smaller scales assert the cost-model mechanism."""
+    if scale == "full":
+        result = benchmark.pedantic(lambda: fig10(scale="full"), rounds=1, iterations=1)
+        big = [
+            r
+            for r in result.records
+            if ("OPT-66B" in r.panel or "GLM-130B" in r.panel)
+        ]
+        th = max(r.throughput for r in big if r.strategy == "inter_th")
+        op = max(r.throughput for r in big if r.strategy == "inter")
+        assert th >= op * 0.98
+    else:
+        from repro.hw import A100_80GB_PCIE
+        from repro.models import GLM_130B, KernelCostModel
+
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        cm = KernelCostModel(A100_80GB_PCIE)
+        m = 144
+        whole = cm.gemm_time(m, GLM_130B.ffn_size, GLM_130B.hidden_size)
+        parts = 4 * cm.gemm_time(m, GLM_130B.ffn_size // 4, GLM_130B.hidden_size)
+        assert parts < whole  # four partitioned kernels beat the giant one

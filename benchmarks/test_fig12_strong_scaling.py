@@ -1,0 +1,38 @@
+"""Fig. 12: strong scaling of serving OPT-30B on 1/2/4 A100 GPUs (§4.4).
+
+Paper shapes: latency and throughput both improve with device count; Liger
+out-throughputs Intra-Op and undercuts Inter-Op latency; the 2-GPU effect
+is weaker than the 4-GPU one (lower communication ratio).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig12
+
+
+def test_fig12_strong_scaling(benchmark, scale):
+    result = run_figure(benchmark, fig12, scale)
+    records = result.records
+
+    def best(panel_suffix, strategy, metric):
+        sub = [
+            r
+            for r in records
+            if r.panel.endswith(panel_suffix) and r.strategy == strategy
+        ]
+        vals = [getattr(r, metric) for r in sub]
+        return min(vals) if metric == "avg_latency_ms" else max(vals)
+
+    # Throughput grows with device count for Liger.
+    thr = {p: best(f"x{p}", "liger", "throughput") for p in (1, 2, 4)}
+    assert thr[2] > thr[1]
+    assert thr[4] > thr[1]
+    # Latency improves with device count for Liger.
+    lat = {p: best(f"x{p}", "liger", "avg_latency_ms") for p in (1, 2, 4)}
+    assert lat[4] < lat[1]
+    # Liger vs the baselines at 4 GPUs.
+    assert result.summary["thr_gain_x4"] > 1.02
+    assert best("x4", "liger", "avg_latency_ms") <= best(
+        "x4", "inter", "avg_latency_ms"
+    )

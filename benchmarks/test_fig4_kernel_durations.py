@@ -1,0 +1,54 @@
+"""Fig. 4: widely-varied kernel durations across models and input sizes.
+
+Paper: (a) as model size grows 8B→175B, duration variance grows and a few
+kernels dominate; (b) durations vary with input size, so no static overlap
+pairing works — the motivation for runtime decomposition (§3.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_figure
+from repro.experiments import fig4
+from repro.hw import v100_nvlink_node
+from repro.models import OPT_8B, OPT_175B, prefill_ops
+from repro.profiling import OpProfiler
+
+
+def test_fig4_variance(benchmark, scale):
+    result = run_figure(benchmark, fig4, scale)
+    # (a) the duration spread must widen monotonically with model size.
+    assert result.summary["cv_monotone"] == 1.0
+
+
+def test_fig4_dominance_grows_with_model_size(benchmark):
+    """max/min duration ratio grows sharply from 8B to 175B."""
+    prof = OpProfiler(v100_nvlink_node(4))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ratios = {}
+    for model in (OPT_8B, OPT_175B):
+        durs = np.array(
+            [prof.duration(o) for o in prefill_ops(model, 2, 64, 1) if not o.is_comm]
+        )
+        ratios[model.name] = durs.max() / durs.min()
+    assert ratios["OPT-175B"] > 2 * ratios["OPT-8B"]
+
+
+def test_fig4_input_size_changes_relative_durations(benchmark):
+    """(b): kernels scale differently with seq — relative order shifts."""
+    prof = OpProfiler(v100_nvlink_node(4))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def durations(seq):
+        return {
+            o.name: prof.duration(o)
+            for o in prefill_ops(OPT_8B, 2, seq, 1, layers=[0])
+            if not o.is_comm
+        }
+
+    d16, d128 = durations(16), durations(128)
+    growth = {name: d128[name] / d16[name] for name in d16}
+    # Attention (quadratic in seq) grows faster than the QKV GEMM
+    # (linear-and-efficiency-bound): the relative mix shifts with input.
+    assert growth["attention_L0"] > 1.15 * growth["qkv_gemm_L0"]

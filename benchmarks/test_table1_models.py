@@ -1,0 +1,17 @@
+"""Table 1: model specifications (OPT-30B, OPT-66B, GLM-130B)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+from repro.models import GLM_130B, OPT_30B, OPT_66B
+from repro.units import GB
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print(f"\n{result.text}")
+    # The rows must match the paper exactly.
+    assert "OPT-30B" in result.text and "GLM-130B" in result.text
+    assert OPT_30B.weight_bytes == GB(60) and OPT_30B.num_layers == 48
+    assert OPT_66B.weight_bytes == GB(132) and OPT_66B.num_heads == 72
+    assert GLM_130B.hidden_size == 12288 and GLM_130B.num_layers == 70

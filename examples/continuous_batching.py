@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Token generation at scale: continuous batching × interleaved parallelism.
+
+A chatbot backend generates responses of very different lengths.  Static
+batching pads every request in a batch to the longest response and releases
+the whole batch at once; Orca-style continuous batching re-forms the running
+batch at every decode iteration.  Liger's interleaved parallelism is
+orthogonal: it overlaps the all-reduces of one in-flight iteration with the
+GEMMs of another.  This example measures all four combinations.
+
+Run:
+    python examples/continuous_batching.py
+"""
+
+from repro import OPT_30B, v100_nvlink_node
+from repro.core import LigerConfig
+from repro.experiments.figures import PINNED_FACTORS
+from repro.serving import (
+    ContinuousBatchingServer,
+    StaticBatchingServer,
+    generation_workload,
+)
+from repro.serving.api import make_strategy
+
+
+def main() -> None:
+    model = OPT_30B
+    node = v100_nvlink_node(4)
+    print(f"Generating with {model.name} on {node.name}: "
+          "64 requests, 4-16 output tokens each\n")
+
+    for server_cls, size_kw in (
+        (StaticBatchingServer, {"batch_size": 16}),
+        (ContinuousBatchingServer, {"max_batch": 16, "pipeline_depth": 3}),
+    ):
+        for strategy_name in ("intra", "liger"):
+            kwargs = (
+                {"config": LigerConfig(contention_factors=PINNED_FACTORS["v100"])}
+                if strategy_name == "liger"
+                else {}
+            )
+            strat = make_strategy(strategy_name, model, node, **kwargs)
+            server = server_cls(model, node, strat, **size_kw)
+            requests = generation_workload(
+                64, rate=700.0, context_len=16, gen_tokens=(4, 16), seed=21
+            )
+            result = server.run(requests)
+            print(
+                f"{result.strategy:>18s}: avg latency "
+                f"{result.avg_latency_ms:7.1f} ms  "
+                f"(p99 {result.latency_stats().p99:7.1f} ms), "
+                f"{server.total_tokens} iteration-tokens"
+            )
+
+    print(
+        "\nContinuous batching removes padding waste and releases short "
+        "requests early; Liger then hides each iteration's all-reduces "
+        "under other iterations' compute. The two compose."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Generative inference: incremental sampling with a KV cache (§4.3).
+
+Token generation processes one token per request per step, reading the
+whole cached context in attention — low computational intensity, small
+collectives.  Liger still helps, but less than on prefill-style workloads:
+this example quantifies that gap by serving both phases on the same node.
+
+Run:
+    python examples/generative_serving.py
+"""
+
+from repro import GLM_130B, a100_pcie_node, serve
+from repro.experiments.figures import PINNED_FACTORS
+from repro.core import LigerConfig
+
+
+def main() -> None:
+    node = a100_pcie_node(4)
+    cfg = LigerConfig(contention_factors=PINNED_FACTORS["a100"])
+    print(f"Serving {GLM_130B.name} on {node.name}\n")
+
+    print("-- incremental sampling (decode): batch 32, context 16 --")
+    gains = {}
+    # Both rates sit ~20–35% past the intra-op saturation point of their
+    # workload, where interleaving has communication to hide.
+    for workload, rate, n, batch in (
+        ("generative", 900.0, 512, 32),
+        ("general", 23.0, 40, 2),
+    ):
+        results = {}
+        for strategy in ("intra", "liger"):
+            kwargs = {"config": cfg} if strategy == "liger" else {}
+            results[strategy] = serve(
+                model=GLM_130B,
+                node=node,
+                strategy=strategy,
+                workload=workload,
+                arrival_rate=rate,
+                num_requests=n,
+                batch_size=batch,
+                **kwargs,
+            )
+            print(results[strategy].summary())
+        gains[workload] = (
+            results["liger"].throughput / results["intra"].throughput
+        )
+        if workload == "generative":
+            print("\n-- prefill (general task): batch 2, seq 16-128 --")
+
+    print(
+        f"\nLiger throughput gain: {gains['generative']:.2f}x on decode vs "
+        f"{gains['general']:.2f}x on prefill — generative tasks leave less "
+        "communication to hide (the paper's §4.3 observation)."
+    )
+
+
+if __name__ == "__main__":
+    main()

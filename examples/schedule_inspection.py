@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Look inside Liger: rounds, overlap, decomposition, and the timeline.
+
+Serves a short saturating trace with full tracing enabled and reports the
+runtime's internals — how many Algorithm-1 rounds ran, how full the overlap
+windows were, how often runtime kernel decomposition fired, how much
+communication wall time was hidden under computation — and writes a Chrome
+trace (`chrome://tracing` / https://ui.perfetto.dev) of the whole schedule.
+
+Run:
+    python examples/schedule_inspection.py [trace.json]
+"""
+
+import sys
+
+from repro import OPT_30B, v100_nvlink_node
+from repro.core import LigerConfig
+from repro.experiments.figures import PINNED_FACTORS
+from repro.parallel import InterleavedStrategy
+from repro.serving import Server
+from repro.serving.workload import general_trace
+from repro.sim.kernel import KernelKind
+
+
+def main() -> None:
+    node = v100_nvlink_node(4)
+    strat = InterleavedStrategy(
+        OPT_30B,
+        node,
+        config=LigerConfig(contention_factors=PINNED_FACTORS["v100"]),
+    )
+    server = Server(OPT_30B, node, strat, record_trace=True)
+    batches = general_trace(num_requests=32, rate=55.0, batch_size=2, seed=1)
+    result = server.run(batches)
+    print(result.summary(), "\n")
+
+    stats = strat.stats
+    print("Liger runtime internals:")
+    print(f"  rounds launched        : {stats.rounds_launched}")
+    print(f"  kernels launched       : {stats.kernels_launched}")
+    print(f"  mean window fill       : {stats.mean_fill_fraction:.1%}")
+    print(f"  decomposed pieces      : {stats.decomposed_pieces}")
+
+    trace = server.trace
+    print("\nPer-GPU overlap (from the timeline):")
+    for g in range(node.num_gpus):
+        comm = trace.busy_time(g, KernelKind.COMM) / 1e3
+        hidden = trace.overlap_time(g) / 1e3
+        eff = trace.overlap_efficiency(g)
+        print(
+            f"  gpu{g}: comm wall {comm:8.1f} ms, "
+            f"hidden under compute {hidden:8.1f} ms ({eff:.0%})"
+        )
+
+    from repro.experiments import serving_report
+
+    print("\n" + serving_report(result, node.num_gpus))
+
+    out = sys.argv[1] if len(sys.argv) > 1 else "liger_trace.json"
+    trace.save_chrome_trace(out)
+    print(f"\nChrome trace written to {out} (open in chrome://tracing)")
+
+
+if __name__ == "__main__":
+    main()

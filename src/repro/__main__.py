@@ -1,0 +1,78 @@
+"""Serving CLI.
+
+Usage::
+
+    python -m repro --model OPT-30B --node v100 --strategy liger \\
+        --rate 50 --requests 64 --batch 2
+    python -m repro --model GLM-130B --node a100 --strategy intra \\
+        --workload generative --rate 800 --requests 256 --batch 32
+    python -m repro --strategy liger --rate 55 --gantt   # ASCII timeline
+
+For figure regeneration use ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.hw.devices import TESTBEDS
+from repro.models.specs import MODELS
+from repro.serving.api import STRATEGIES, serve
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Serve a large language model on a simulated multi-GPU node.",
+    )
+    parser.add_argument("--model", default="OPT-30B", choices=sorted(MODELS))
+    parser.add_argument("--node", default="v100", choices=sorted(TESTBEDS))
+    parser.add_argument("--gpus", type=int, default=4)
+    parser.add_argument("--strategy", default="liger", choices=STRATEGIES)
+    parser.add_argument("--workload", default="general",
+                        choices=("general", "generative"))
+    parser.add_argument("--rate", type=float, default=20.0,
+                        help="arrival rate (requests/second)")
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--batch", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--gantt", action="store_true",
+                        help="print an ASCII timeline of GPU 0")
+    parser.add_argument("--chrome-trace", metavar="PATH",
+                        help="write a Chrome trace JSON of the run")
+    args = parser.parse_args(argv)
+
+    model = MODELS[args.model]
+    node = TESTBEDS[args.node](args.gpus)
+    want_trace = args.gantt or args.chrome_trace is not None
+    result = serve(
+        model,
+        node,
+        strategy=args.strategy,
+        workload=args.workload,
+        arrival_rate=args.rate,
+        num_requests=args.requests,
+        batch_size=args.batch,
+        seed=args.seed,
+        record_trace=want_trace,
+    )
+    print(result.summary())
+    stats = result.latency_stats()
+    print(
+        f"latency ms: mean={stats.mean:.1f} p50={stats.p50:.1f} "
+        f"p95={stats.p95:.1f} p99={stats.p99:.1f} max={stats.max:.1f}"
+    )
+    if args.gantt:
+        from repro.sim.gantt import render_gantt
+
+        print()
+        print(render_gantt(result.trace, gpus=[0], width=100))
+    if args.chrome_trace:
+        result.trace.save_chrome_trace(args.chrome_trace)
+        print(f"chrome trace written to {args.chrome_trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Function assembly (§3.2): per-batch lists of kernel launch wrappers.
+
+For each newly-arrived batch Liger assembles a list of *function wrappers*.
+In the C++ prototype a wrapper holds the kernel launch function pointer plus
+"the kernel duration, the kernel type, the batch size, and the sequence
+length"; here a :class:`KernelFunc` holds the :class:`~repro.models.ops.OpDesc`
+(the launchable), the profiled no-load duration, and the same metadata.  The
+assembled :class:`FuncVec` is what Algorithm 1 consumes: it exposes the
+type-switch test (``FuncVec[0].switch()`` in the paper's pseudocode) and
+in-order pop, and accepts push-front for decomposition remainders.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List
+
+from repro.errors import ConfigError
+from repro.models.ops import OpDesc
+from repro.profiling.profiler import OpProfiler
+from repro.serving.request import Batch
+from repro.sim.kernel import KernelKind
+
+__all__ = ["KernelFunc", "FuncVec", "FunctionAssembler"]
+
+
+@dataclass
+class KernelFunc:
+    """One kernel launch wrapper (the paper's function-wrapper record)."""
+
+    op: OpDesc
+    duration: float           # profiled no-load duration (µs)
+    kind: KernelKind
+    batch_id: int
+    batch_size: int
+    seq_len: int
+    decomposable: bool
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ConfigError(f"{self.op.name}: negative profiled duration")
+
+    @property
+    def is_comm(self) -> bool:
+        return self.kind is KernelKind.COMM
+
+    def same_type_as(self, kind: KernelKind) -> bool:
+        """Type comparison at the scheduler's granularity: comm vs not."""
+        return self.is_comm == (kind is KernelKind.COMM)
+
+
+class FuncVec:
+    """The assembled kernel-function list of one batch (FIFO with push-front)."""
+
+    def __init__(self, batch: Batch, funcs: List[KernelFunc]) -> None:
+        if not funcs:
+            raise ConfigError(f"batch {batch.batch_id}: empty function list")
+        self.batch = batch
+        self._funcs: Deque[KernelFunc] = deque(funcs)
+        self.total_assembled = len(funcs)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._funcs)
+
+    @property
+    def empty(self) -> bool:
+        return not self._funcs
+
+    def peek(self) -> KernelFunc:
+        """The head kernel function without consuming it."""
+        if not self._funcs:
+            raise ConfigError("peek on empty FuncVec")
+        return self._funcs[0]
+
+    def pop(self) -> KernelFunc:
+        """Consume and return the head kernel function."""
+        if not self._funcs:
+            raise ConfigError("pop on empty FuncVec")
+        return self._funcs.popleft()
+
+    def push_front(self, func: KernelFunc) -> None:
+        """Return a decomposition remainder to the head of the list."""
+        self._funcs.appendleft(func)
+
+    def next_switches(self) -> bool:
+        """The paper's ``FuncVec[0].switch()``: does the kernel *after* the
+        head have a different type (or is the head the last kernel)?"""
+        if not self._funcs:
+            raise ConfigError("switch test on empty FuncVec")
+        if len(self._funcs) == 1:
+            return True
+        return self._funcs[0].is_comm != self._funcs[1].is_comm
+
+    def head_kind(self) -> KernelKind:
+        """Kernel kind of the head function."""
+        return self.peek().kind
+
+
+class FunctionAssembler:
+    """Builds a :class:`FuncVec` for each arriving batch (online procedure).
+
+    Uses the batch's size / sequence length / phase and the target model to
+    enumerate the per-device op sequence under the node's tensor-parallel
+    degree, attaching profiled durations from the offline procedure's
+    :class:`~repro.profiling.profiler.OpProfiler`.
+    """
+
+    def __init__(self, strategy_ops_fn, profiler: OpProfiler) -> None:
+        """``strategy_ops_fn(batch) -> List[OpDesc]`` supplies the ops."""
+        self._ops_fn = strategy_ops_fn
+        self.profiler = profiler
+        self.batches_assembled = 0
+
+    def assemble(self, batch: Batch) -> FuncVec:
+        """Build the batch's FuncVec with profiled durations (§3.2)."""
+        ops = self._ops_fn(batch)
+        funcs = [
+            KernelFunc(
+                op=op,
+                duration=self.profiler.duration(op),
+                kind=op.kind,
+                batch_id=batch.batch_id,
+                batch_size=batch.size,
+                seq_len=batch.seq_len,
+                decomposable=op.decomposable,
+            )
+            for op in ops
+        ]
+        self.batches_assembled += 1
+        return FuncVec(batch, funcs)

@@ -1,0 +1,170 @@
+"""Runtime kernel decomposition (§3.6).
+
+When the scheduler cannot fit a subsequent batch's next kernel into the
+remaining overlap window, it splits the kernel into fine-grained pieces with
+*equal capability*.  Liger pre-decides the decomposition strategy per kernel
+class (a manual process in the paper) and profiles every possible division
+of a factor-``d`` split (1/d … (d−1)/d) offline, so the runtime can pick the
+largest piece that fits by table lookup.
+
+Decomposition strategies (Fig. 9):
+
+* **GEMM — vertical**: split the *weight's output columns* (the ``n``
+  dimension).  The activation matrix A is already skinny in inference;
+  vertical splitting keeps its shape, each piece computes a full column
+  slice of the output, and the cost is only tile-quantisation + one extra
+  kernel overhead per piece.  This is the strategy Liger uses.
+* **GEMM — horizontal** (provided for the Fig. 9 comparison, never chosen):
+  split A's rows (``m``); the pieces become even skinnier and efficiency
+  collapses.
+* **All-reduce**: split the payload bytes evenly; each piece is an
+  independent smaller collective (NCCL treats chunks independently), paying
+  one extra latency term per piece.
+
+A kernel piece is a real :class:`~repro.core.assembly.KernelFunc` whose op
+has the scaled shape — its duration comes from the same profiler, so the
+decomposition *penalty* (sum of pieces > whole) is emergent, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.core.assembly import KernelFunc
+from repro.errors import ConfigError
+from repro.models.ops import OpDesc
+from repro.profiling.profiler import OpProfiler
+
+__all__ = ["DecompositionPlanner", "split_gemm_vertical", "split_gemm_horizontal", "split_allreduce"]
+
+
+def split_gemm_vertical(op: OpDesc, numer: int, denom: int) -> Tuple[OpDesc, OpDesc]:
+    """Split a GEMM along ``n`` into (numer/denom, rest).  Fig. 9 'vertical'."""
+    _check_fraction(numer, denom)
+    m, k, n = op.gemm_shape  # type: ignore[misc]
+    n_piece = max(1, (n * numer) // denom)
+    n_rest = n - n_piece
+    if n_rest < 1:
+        raise ConfigError(f"{op.name}: vertical split leaves empty remainder")
+    return (
+        replace(op, name=f"{op.name}.v{numer}/{denom}", gemm_shape=(m, k, n_piece)),
+        replace(op, name=f"{op.name}.rest", gemm_shape=(m, k, n_rest)),
+    )
+
+
+def split_gemm_horizontal(op: OpDesc, numer: int, denom: int) -> Tuple[OpDesc, OpDesc]:
+    """Split a GEMM along ``m`` (Fig. 9 'horizontal' — the bad strategy)."""
+    _check_fraction(numer, denom)
+    m, k, n = op.gemm_shape  # type: ignore[misc]
+    m_piece = max(1, (m * numer) // denom)
+    m_rest = m - m_piece
+    if m_rest < 1:
+        raise ConfigError(f"{op.name}: horizontal split leaves empty remainder")
+    return (
+        replace(op, name=f"{op.name}.h{numer}/{denom}", gemm_shape=(m_piece, k, n)),
+        replace(op, name=f"{op.name}.rest", gemm_shape=(m_rest, k, n)),
+    )
+
+
+def split_allreduce(op: OpDesc, numer: int, denom: int) -> Tuple[OpDesc, OpDesc]:
+    """Split an all-reduce payload into (numer/denom, rest) byte chunks."""
+    _check_fraction(numer, denom)
+    piece = op.comm_bytes * numer / denom
+    rest = op.comm_bytes - piece
+    if piece <= 0 or rest <= 0:
+        raise ConfigError(f"{op.name}: degenerate all-reduce split")
+    return (
+        replace(op, name=f"{op.name}.c{numer}/{denom}", comm_bytes=piece),
+        replace(op, name=f"{op.name}.rest", comm_bytes=rest),
+    )
+
+
+def _check_fraction(numer: int, denom: int) -> None:
+    if denom < 2 or not 1 <= numer < denom:
+        raise ConfigError(f"invalid decomposition fraction {numer}/{denom}")
+
+
+@dataclass
+class DecompositionPlanner:
+    """Chooses the largest profiled piece of a kernel that fits a window.
+
+    Parameters
+    ----------
+    profiler:
+        Duration oracle (the offline profile of all divisions).
+    division_factor:
+        ``d``; candidate pieces are ``i/d`` for ``i = d−1 … 1``.
+    """
+
+    profiler: OpProfiler
+    division_factor: int = 8
+
+    def __post_init__(self) -> None:
+        if self.division_factor < 1:
+            raise ConfigError("division_factor must be >= 1")
+
+    def can_decompose(self, func: KernelFunc) -> bool:
+        """Whether this kernel admits a factor-``d`` split at all."""
+        if not func.decomposable or self.division_factor < 2:
+            return False
+        if func.op.op == "gemm":
+            # Need at least d columns to split d ways.
+            return func.op.gemm_shape[2] >= self.division_factor  # type: ignore[index]
+        if func.op.op == "all_reduce":
+            return func.op.comm_bytes > 0
+        return False
+
+    def split_to_fit(
+        self, func: KernelFunc, window: float, *, scale: float = 1.0
+    ) -> Optional[Tuple[KernelFunc, KernelFunc]]:
+        """Split ``func`` so the first piece's scaled duration fits ``window``.
+
+        Returns ``(piece, remainder)`` or ``None`` when even the smallest
+        profiled division (1/d) does not fit.  ``scale`` is the contention
+        factor applied to the piece's duration when testing the fit.
+        """
+        if not self.can_decompose(func):
+            return None
+        d = self.division_factor
+        for numer in range(d - 1, 0, -1):
+            if func.op.op == "gemm":
+                piece_op, rest_op = split_gemm_vertical(func.op, numer, d)
+            else:
+                piece_op, rest_op = split_allreduce(func.op, numer, d)
+            piece_duration = self.profiler.duration(piece_op)
+            if piece_duration * scale <= window:
+                piece = KernelFunc(
+                    op=piece_op,
+                    duration=piece_duration,
+                    kind=func.kind,
+                    batch_id=func.batch_id,
+                    batch_size=func.batch_size,
+                    seq_len=func.seq_len,
+                    decomposable=False,  # pieces are final
+                )
+                remainder = KernelFunc(
+                    op=rest_op,
+                    duration=self.profiler.duration(rest_op),
+                    kind=func.kind,
+                    batch_id=func.batch_id,
+                    batch_size=func.batch_size,
+                    seq_len=func.seq_len,
+                    decomposable=True,  # the remainder may split again later
+                )
+                return piece, remainder
+        return None
+
+    def profile_divisions(self, func: KernelFunc) -> List[Tuple[str, float]]:
+        """Offline table: duration of every ``i/d`` division of a kernel."""
+        if not self.can_decompose(func):
+            return []
+        out: List[Tuple[str, float]] = []
+        d = self.division_factor
+        for numer in range(1, d):
+            if func.op.op == "gemm":
+                piece_op, _ = split_gemm_vertical(func.op, numer, d)
+            else:
+                piece_op, _ = split_allreduce(func.op, numer, d)
+            out.append((f"{numer}/{d}", self.profiler.duration(piece_op)))
+        return out

@@ -1,0 +1,297 @@
+"""The multi-GPU multi-stream scheduler — Algorithm 1 (§3.3–§3.4).
+
+The scheduler manages a *waiting queue* of assembled batches and a
+fixed-size *processing list* of batches currently being interleaved.  Each
+planning step produces one :class:`Round`:
+
+1. **Primary subset** (``SubSet0``): pop kernels from the primary batch
+   (the oldest in the processing list) until the kernel type switches from
+   computation to communication or vice versa — a maximal same-type run,
+   whose accumulated no-load duration defines the overlap window.
+2. **Secondary subset** (``SubSet1``): walk the *subsequent* batches in
+   arrival order and pop kernels of the *opposite* type while their
+   contention-anticipated durations (§3.5) fit in the remaining window.  A
+   kernel too long for the residual window is split by runtime kernel
+   decomposition (§3.6) and its remainder pushed back.
+
+The two subsets are launched onto two streams per GPU and run concurrently;
+design Principles 1–3 (§3.3) map to: the primary batch's kernels are never
+delayed by same-type interlopers (1), any mix of input sizes schedules
+because fitting is by measured duration (2), and the window is packed as
+full as anticipation allows (3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.core.assembly import FuncVec, KernelFunc
+from repro.core.contention import ContentionAnticipator
+from repro.core.decomposition import DecompositionPlanner
+from repro.errors import ConfigError, SchedulingError
+from repro.sim.kernel import KernelKind
+
+__all__ = ["Round", "LigerScheduler"]
+
+
+@dataclass
+class Round:
+    """One scheduling step: two duration-matched kernel subsets."""
+
+    index: int
+    primary_kind: KernelKind
+    subset0: List[KernelFunc]
+    subset1: List[KernelFunc]
+    window: float              # accumulated no-load duration of subset0
+    secondary_fill: float      # anticipated duration packed into subset1
+
+    def __post_init__(self) -> None:
+        if not self.subset0:
+            raise ConfigError("a round requires a non-empty primary subset")
+
+    @property
+    def fill_fraction(self) -> float:
+        """How much of the window the secondary subset occupies (≤ 1)."""
+        return self.secondary_fill / self.window if self.window > 0 else 0.0
+
+    def validate_principle1(self) -> None:
+        """Assert the secondary subset cannot outlive the primary window."""
+        if self.secondary_fill > self.window * (1 + 1e-9):
+            raise SchedulingError(
+                f"round {self.index}: secondary fill {self.secondary_fill:.1f}us "
+                f"exceeds primary window {self.window:.1f}us"
+            )
+
+
+class LigerScheduler:
+    """Waiting queue + processing list + Algorithm 1."""
+
+    def __init__(
+        self,
+        *,
+        anticipator: ContentionAnticipator,
+        decomposer: Optional[DecompositionPlanner] = None,
+        max_inflight: int = 4,
+        packing: str = "first_fit",
+    ) -> None:
+        if max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1")
+        if packing not in ("first_fit", "best_fit"):
+            raise ConfigError(
+                f"packing must be 'first_fit' or 'best_fit', got {packing!r}"
+            )
+        self.anticipator = anticipator
+        self.decomposer = decomposer
+        self.max_inflight = max_inflight
+        self.packing = packing
+        #: Optional memory-aware admission gate: called with a FuncVec before
+        #: it moves from the waiting queue to the processing list; returning
+        #: False keeps it (and everything behind it) waiting.  Lets the
+        #: runtime bound interleaving depth by *available HBM*, not just the
+        #: configured processing-list size.
+        self.admission_check = lambda fv: True
+        self.waiting: Deque[FuncVec] = deque()
+        self.processing: List[FuncVec] = []
+        self.rounds_planned = 0
+        #: FuncVecs fully consumed in the last planning call (batch drained
+        #: from the scheduler's perspective; kernels may still be running).
+        self.drained: List[FuncVec] = []
+
+    # ------------------------------------------------------------------
+    # Queue management (§3.3: "As tasks are completed and removed from the
+    # processing list, a new task is fetched from the waiting queue").
+    # ------------------------------------------------------------------
+    def enqueue(self, funcvec: FuncVec) -> None:
+        """Add an assembled batch to the waiting queue (refills processing)."""
+        self.waiting.append(funcvec)
+        self._refill()
+
+    def _refill(self) -> None:
+        while self.waiting and len(self.processing) < self.max_inflight:
+            if not self.admission_check(self.waiting[0]):
+                if not self.processing:
+                    # Nothing is draining, so the resource can never free:
+                    # admit anyway and let the resource owner raise.
+                    self.processing.append(self.waiting.popleft())
+                    continue
+                break  # wait for an in-flight batch to release resources
+            self.processing.append(self.waiting.popleft())
+
+    def _sweep_drained(self) -> None:
+        kept: List[FuncVec] = []
+        for fv in self.processing:
+            if fv.empty:
+                self.drained.append(fv)
+            else:
+                kept.append(fv)
+        self.processing = kept
+        self._refill()
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.processing) or bool(self.waiting)
+
+    def take_drained(self) -> List[FuncVec]:
+        """Pop-and-clear the list of fully-consumed FuncVecs."""
+        out, self.drained = self.drained, []
+        return out
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def plan_round(self) -> Optional[Round]:
+        """Produce the next round, or None when no work is available."""
+        self._sweep_drained()
+        if not self.processing:
+            return None
+        primary = self.processing[0]
+
+        # --- collect kernels from the primary batch (lines 3–9) ---------
+        subset0: List[KernelFunc] = []
+        window = 0.0
+        kind = primary.head_kind()
+        while not primary.empty:
+            switches = primary.next_switches()
+            func = primary.pop()
+            window += func.duration
+            subset0.append(func)
+            if switches:
+                kind = func.kind
+                break
+
+        # --- collect opposite-type kernels from subsequent batches ------
+        # (lines 10–20, plus §3.5 anticipation and §3.6 decomposition)
+        if self.packing == "best_fit":
+            subset1, fill = self._pack_best_fit(kind, window)
+        else:
+            subset1, fill = self._pack_first_fit(kind, window)
+
+        round_ = Round(
+            index=self.rounds_planned,
+            primary_kind=kind,
+            subset0=subset0,
+            subset1=subset1,
+            window=window,
+            secondary_fill=fill,
+        )
+        round_.validate_principle1()
+        self.rounds_planned += 1
+        self._sweep_drained()
+        return round_
+
+    # ------------------------------------------------------------------
+    # Secondary-subset packing policies
+    # ------------------------------------------------------------------
+    def _pack_first_fit(self, kind, window: float):
+        """The paper's policy: walk subsequent batches in arrival order."""
+        subset1: List[KernelFunc] = []
+        fill = 0.0
+        remaining = window
+        for fv in self.processing[1:]:
+            while remaining > 0 and not fv.empty:
+                nxt = fv.peek()
+                if nxt.same_type_as(kind):
+                    # Principle 1: same-type kernels must not interfere with
+                    # the primary batch; this batch is stuck until a later
+                    # round of the opposite kind.
+                    break
+                anticipated = self.anticipator.anticipated(nxt.duration, nxt.kind)
+                if anticipated <= remaining:
+                    fv.pop()
+                    subset1.append(nxt)
+                    fill += anticipated
+                    remaining -= anticipated
+                    continue
+                # Too long: try runtime decomposition (§3.6).
+                split = None
+                if self.decomposer is not None:
+                    split = self.decomposer.split_to_fit(
+                        nxt,
+                        remaining,
+                        scale=self.anticipator.scale(nxt.kind),
+                    )
+                if split is None:
+                    remaining = 0.0  # window effectively unusable (line 15)
+                    break
+                piece, rest = split
+                fv.pop()
+                fv.push_front(rest)
+                subset1.append(piece)
+                anticipated_piece = self.anticipator.anticipated(
+                    piece.duration, piece.kind
+                )
+                fill += anticipated_piece
+                remaining -= anticipated_piece
+                break  # residual window is below the smallest division
+        return subset1, fill
+
+    def _pack_best_fit(self, kind, window: float):
+        """Extension: greedy best-fit over eligible batch heads.
+
+        Only the *head* kernel of each subsequent batch is eligible (batch
+        order is a data dependency), so this is an online greedy: at each
+        step take the largest opposite-type head whose anticipated duration
+        fits the residual window; fall back to decomposing the largest head
+        when nothing fits whole.  Trades the paper's arrival-order fairness
+        for higher window fill.
+        """
+        subset1: List[KernelFunc] = []
+        fill = 0.0
+        remaining = window
+        while remaining > 0:
+            eligible = [
+                fv
+                for fv in self.processing[1:]
+                if not fv.empty and not fv.peek().same_type_as(kind)
+            ]
+            if not eligible:
+                break
+            fitting = [
+                fv
+                for fv in eligible
+                if self.anticipator.anticipated(
+                    fv.peek().duration, fv.peek().kind
+                )
+                <= remaining
+            ]
+            if fitting:
+                fv = max(
+                    fitting,
+                    key=lambda v: self.anticipator.anticipated(
+                        v.peek().duration, v.peek().kind
+                    ),
+                )
+                func = fv.pop()
+                anticipated = self.anticipator.anticipated(func.duration, func.kind)
+                subset1.append(func)
+                fill += anticipated
+                remaining -= anticipated
+                continue
+            # Nothing fits whole: decompose the largest eligible head.
+            if self.decomposer is None:
+                break
+            best_split = None
+            best_fv = None
+            for fv in eligible:
+                split = self.decomposer.split_to_fit(
+                    fv.peek(), remaining, scale=self.anticipator.scale(fv.peek().kind)
+                )
+                if split is None:
+                    continue
+                if best_split is None or split[0].duration > best_split[0].duration:
+                    best_split = split
+                    best_fv = fv
+            if best_split is None:
+                break
+            piece, rest = best_split
+            assert best_fv is not None
+            best_fv.pop()
+            best_fv.push_front(rest)
+            subset1.append(piece)
+            anticipated_piece = self.anticipator.anticipated(piece.duration, piece.kind)
+            fill += anticipated_piece
+            remaining -= anticipated_piece
+            break  # residual window is below the smallest division
+        return subset1, fill

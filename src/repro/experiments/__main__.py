@@ -1,0 +1,53 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments                 # every figure, quick scale
+    python -m repro.experiments fig10 --scale full
+    python -m repro.experiments table1 fig3 fig13
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import ALL_FIGURES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the Liger paper's tables and figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=[],
+        help=f"figures to run (default: all). Choices: {', '.join(ALL_FIGURES)}",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "quick", "full"),
+        default="quick",
+        help="experiment size (smoke: seconds; quick: default; full: paper grid)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.figures or list(ALL_FIGURES)
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figure(s): {', '.join(unknown)}")
+
+    for name in names:
+        start = time.time()
+        result = ALL_FIGURES[name](scale=args.scale)
+        elapsed = time.time() - start
+        print(f"\n=== {result.figure}: {result.title} [{elapsed:.1f}s] ===")
+        print(result.text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Post-run analysis of serving results.
+
+Turns a traced :class:`~repro.serving.server.ServingResult` into the
+quantities a performance engineer asks about after a run:
+
+* **utilization** — per-GPU busy fraction, communication share, and how much
+  of the communication wall time was hidden under computation (Liger's
+  whole value proposition, measured rather than asserted);
+* **latency breakdown** — per batch, how much of the end-to-end latency was
+  *pending* (waiting for the runtime to start it) vs *execution* (first
+  kernel start → last kernel end), the decomposition the paper's latency
+  definition implies;
+* **lag detection** — communication kernels whose ready→start delay exceeds
+  a threshold, i.e. occurrences of the §2.3.1 execution-lag pathology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.experiments.reporting import format_table
+from repro.serving.server import ServingResult
+from repro.sim.kernel import KernelKind
+from repro.sim.tracing import Trace
+
+__all__ = [
+    "GpuUtilization",
+    "BatchBreakdown",
+    "utilization_report",
+    "latency_breakdown",
+    "comm_lag_events",
+    "serving_report",
+]
+
+
+@dataclass(frozen=True)
+class GpuUtilization:
+    """One GPU's activity summary over the serving span."""
+
+    gpu: int
+    busy_fraction: float
+    comm_fraction: float
+    comm_hidden_fraction: float
+
+
+@dataclass(frozen=True)
+class BatchBreakdown:
+    """One batch's latency decomposition (all µs)."""
+
+    batch_id: int
+    arrival: float
+    exec_start: float
+    completion: float
+
+    @property
+    def pending(self) -> float:
+        return self.exec_start - self.arrival
+
+    @property
+    def execution(self) -> float:
+        return self.completion - self.exec_start
+
+    @property
+    def total(self) -> float:
+        return self.completion - self.arrival
+
+
+def _require_trace(result: ServingResult) -> Trace:
+    if result.trace is None:
+        raise ConfigError(
+            "result has no trace; run the server with record_trace=True"
+        )
+    return result.trace
+
+
+def utilization_report(result: ServingResult, num_gpus: int) -> List[GpuUtilization]:
+    """Per-GPU busy/communication/overlap fractions."""
+    trace = _require_trace(result)
+    span = trace.makespan()
+    if span <= 0:
+        raise ConfigError("degenerate trace span")
+    out = []
+    for g in range(num_gpus):
+        busy = trace.busy_time(g)
+        comm = trace.busy_time(g, KernelKind.COMM)
+        out.append(
+            GpuUtilization(
+                gpu=g,
+                busy_fraction=busy / span,
+                comm_fraction=comm / busy if busy > 0 else 0.0,
+                comm_hidden_fraction=trace.overlap_efficiency(g),
+            )
+        )
+    return out
+
+
+def latency_breakdown(result: ServingResult) -> List[BatchBreakdown]:
+    """Pending vs execution time per batch, joined via batch ids."""
+    trace = _require_trace(result)
+    first_start: Dict[int, float] = {}
+    last_end: Dict[int, float] = {}
+    for r in trace.rows:
+        if r.batch_id < 0:
+            continue
+        first_start[r.batch_id] = min(first_start.get(r.batch_id, np.inf), r.start)
+        last_end[r.batch_id] = max(last_end.get(r.batch_id, -np.inf), r.end)
+    arrivals: Dict[int, float] = {}
+    for req in result.metrics.completed:
+        if req.batch_id >= 0:
+            arrivals[req.batch_id] = max(
+                arrivals.get(req.batch_id, -np.inf), req.arrival
+            )
+    out = []
+    for bid in sorted(first_start):
+        if bid not in arrivals:
+            continue  # infrastructure batch (e.g. profiling)
+        out.append(
+            BatchBreakdown(
+                batch_id=bid,
+                arrival=arrivals[bid],
+                exec_start=first_start[bid],
+                completion=last_end[bid],
+            )
+        )
+    return out
+
+
+def comm_lag_events(result: ServingResult, *, threshold_us: float = 20.0):
+    """Communication kernels whose ready→start lag exceeds the threshold.
+
+    A healthy Liger schedule keeps these rare: the hybrid synchronization
+    exists precisely so communication kernels start when scheduled.
+    """
+    trace = _require_trace(result)
+    return [
+        r
+        for r in trace.rows
+        if r.kind is KernelKind.COMM and r.queueing_delay > threshold_us
+    ]
+
+
+def serving_report(result: ServingResult, num_gpus: int) -> str:
+    """A human-readable post-run report (tables of the above)."""
+    util = utilization_report(result, num_gpus)
+    util_rows = [
+        [u.gpu, u.busy_fraction * 100, u.comm_fraction * 100,
+         u.comm_hidden_fraction * 100]
+        for u in util
+    ]
+    parts = [
+        f"serving report: {result.summary()}",
+        "",
+        format_table(["gpu", "busy(%)", "comm-of-busy(%)", "comm-hidden(%)"], util_rows),
+    ]
+    breakdown = latency_breakdown(result)
+    if breakdown:
+        pend = np.array([b.pending for b in breakdown]) / 1e3
+        execu = np.array([b.execution for b in breakdown]) / 1e3
+        parts += [
+            "",
+            format_table(
+                ["metric", "mean(ms)", "p95(ms)"],
+                [
+                    ["pending", float(pend.mean()), float(np.percentile(pend, 95))],
+                    ["execution", float(execu.mean()), float(np.percentile(execu, 95))],
+                ],
+            ),
+        ]
+    lag = comm_lag_events(result)
+    parts += ["", f"comm kernels with >20us start lag: {len(lag)}"]
+    return "\n".join(parts)

@@ -1,0 +1,198 @@
+"""Experiment harness: rate sweeps, records, and saturation estimation.
+
+One :class:`ExperimentRunner` per (model, node) pair caches the profiler so a
+sweep over strategies and arrival rates reuses the offline profile, exactly
+like deploying Liger once and varying the load.  Rates are expressed as
+fractions of the *estimated intra-op saturation throughput*, so the same
+sweep specification works across models and nodes (the paper hand-picks
+per-node rate ranges for the same reason — §D: "it is necessary to specify
+the arrival rate for your node").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.hw.devices import NodeSpec
+from repro.models.kvcache import decode_step_ops
+from repro.models.specs import ModelSpec
+from repro.models.transformer import prefill_ops
+from repro.profiling.contention_profiler import ContentionFactors
+from repro.profiling.profiler import OpProfiler
+from repro.serving.api import make_strategy
+from repro.serving.server import Server
+from repro.serving.workload import general_trace, generative_trace
+from repro.sim.interconnect import NcclConfig
+
+__all__ = ["ExperimentRecord", "ExperimentRunner"]
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One (configuration, strategy, rate) measurement."""
+
+    figure: str
+    panel: str
+    strategy: str
+    rate: float
+    num_requests: int
+    batch_size: int
+    avg_latency_ms: float
+    p99_latency_ms: float
+    throughput: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> List[object]:
+        """The record as a printable table row (see ``ROW_HEADERS``)."""
+        return [
+            self.panel,
+            self.strategy,
+            round(self.rate, 2),
+            self.batch_size,
+            self.avg_latency_ms,
+            self.p99_latency_ms,
+            self.throughput,
+        ]
+
+    ROW_HEADERS = [
+        "panel",
+        "strategy",
+        "rate(req/s)",
+        "batch",
+        "lat(ms)",
+        "p99(ms)",
+        "thr(req/s)",
+    ]
+
+
+class ExperimentRunner:
+    """Runs serving sweeps for one (model, node) configuration."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        node: NodeSpec,
+        *,
+        figure: str = "",
+        panel: str = "",
+        contention_factors: Optional[ContentionFactors] = None,
+    ) -> None:
+        self.model = model
+        self.node = node
+        self.figure = figure
+        self.panel = panel or f"{model.name}/{node.name}"
+        # Share one profiler per NCCL flavour across the sweep.
+        self._profilers = {
+            "default": OpProfiler(node, nccl=NcclConfig()),
+            "reduced": OpProfiler(node, nccl=NcclConfig().reduced()),
+        }
+        self.contention_factors = contention_factors
+
+    # ------------------------------------------------------------------
+    # Saturation estimation (for auto-scaled rate grids)
+    # ------------------------------------------------------------------
+    def intra_op_batch_time_us(
+        self, batch_size: int, *, seq: int = 72, workload: str = "general",
+        context_len: int = 16,
+    ) -> float:
+        """Analytic single-batch execution time under intra-op (µs)."""
+        prof = self._profilers["default"]
+        tp = self.node.num_gpus
+        if workload == "general":
+            ops = prefill_ops(self.model, batch_size, seq, tp)
+        else:
+            ops = decode_step_ops(self.model, batch_size, context_len, tp)
+        return sum(prof.duration(op) for op in ops)
+
+    def saturation_rate(self, batch_size: int, **kw) -> float:
+        """Estimated intra-op saturation throughput (requests/second)."""
+        t = self.intra_op_batch_time_us(batch_size, **kw)
+        if t <= 0:
+            raise ConfigError("degenerate batch time")
+        return batch_size / (t * 1e-6)
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def run_point(
+        self,
+        strategy: str,
+        rate: float,
+        *,
+        num_requests: int = 32,
+        batch_size: int = 2,
+        workload: str = "general",
+        seq_range=(16, 128),
+        context_len: int = 16,
+        seed: int = 0,
+        record_trace: bool = False,
+        arrival=None,
+        **strategy_kwargs,
+    ):
+        """Serve one (strategy, rate) point; returns (record, result)."""
+        if strategy == "liger" and self.contention_factors is not None:
+            from repro.core.config import LigerConfig
+
+            strategy_kwargs.setdefault(
+                "config", LigerConfig(contention_factors=self.contention_factors)
+            )
+        use_reduced = strategy == "liger"
+        cfg = strategy_kwargs.get("config")
+        if cfg is not None and not getattr(cfg, "reduce_nccl_channels", True):
+            use_reduced = False  # the §3.5-mitigation ablation
+        profiler = self._profilers["reduced" if use_reduced else "default"]
+        strat = make_strategy(
+            strategy, self.model, self.node, profiler=profiler, **strategy_kwargs
+        )
+        if workload == "general":
+            batches = general_trace(
+                num_requests, rate, batch_size, seq_range=seq_range, seed=seed,
+                arrival=arrival,
+            )
+        elif workload == "generative":
+            batches = generative_trace(
+                num_requests, rate, batch_size=batch_size,
+                context_len=context_len, seed=seed, arrival=arrival,
+            )
+        else:
+            raise ConfigError(f"unknown workload {workload!r}")
+        server = Server(
+            self.model, self.node, strat, record_trace=record_trace, check_memory=False
+        )
+        result = server.run(batches)
+        stats = result.latency_stats()
+        record = ExperimentRecord(
+            figure=self.figure,
+            panel=self.panel,
+            strategy=strategy,
+            rate=rate,
+            num_requests=num_requests,
+            batch_size=batch_size,
+            avg_latency_ms=stats.mean,
+            p99_latency_ms=stats.p99,
+            throughput=result.throughput,
+        )
+        return record, result
+
+    def sweep(
+        self,
+        strategies: Sequence[str],
+        rates: Sequence[float],
+        **point_kwargs,
+    ) -> List[ExperimentRecord]:
+        """Cartesian sweep of strategies × rates."""
+        records: List[ExperimentRecord] = []
+        for rate in rates:
+            for strategy in strategies:
+                record, _ = self.run_point(strategy, rate, **point_kwargs)
+                records.append(record)
+        return records
+
+    def relative_rates(
+        self, fractions: Sequence[float], batch_size: int, **kw
+    ) -> List[float]:
+        """Rates expressed as fractions of intra-op saturation throughput."""
+        cap = self.saturation_rate(batch_size, **kw)
+        return [round(cap * f, 3) for f in fractions]

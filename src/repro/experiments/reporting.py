@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The paper's figures are line/bar charts; the benchmark harness regenerates
+their underlying series and prints them as aligned text tables so the rows
+can be compared against the paper (and diffed between runs) without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_kv", "bar"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned text table with a header rule."""
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(widths))),
+    ]
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Sequence[tuple]) -> str:
+    """Render key/value summary lines."""
+    width = max(len(str(k)) for k, _ in pairs) if pairs else 0
+    return "\n".join(f"{str(k).ljust(width)} : {_cell(v)}" for k, v in pairs)
+
+
+def bar(value: float, scale: float, width: int = 40) -> str:
+    """A proportional ASCII bar (for quick visual series comparison)."""
+    if scale <= 0:
+        return ""
+    n = max(0, min(width, round(value / scale * width)))
+    return "#" * n
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

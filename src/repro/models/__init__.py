@@ -1,0 +1,64 @@
+"""Model substrate: specs, cost model, and forward-pass operator sequences.
+
+Everything the paper gets from FasterTransformer + real models is rebuilt
+here analytically: Table 1's model specifications, a roofline kernel cost
+model per GPU, and the Megatron-partitioned per-device operator sequences
+for both prefill ("general tasks") and KV-cache decode ("generative tasks").
+"""
+
+from repro.models.costs import CostBreakdown, KernelCostModel
+from repro.models.kvcache import decode_layer_ops, decode_step_ops
+from repro.models.ops import (
+    OpDesc,
+    allreduce_op,
+    attention_op,
+    elementwise_op,
+    gemm_op,
+    p2p_op,
+)
+from repro.models.partition import (
+    PipelineStage,
+    boundary_bytes,
+    check_placement,
+    pipeline_stages,
+)
+from repro.models.specs import (
+    GLM_130B,
+    MODELS,
+    OPT_8B,
+    OPT_13B,
+    OPT_30B,
+    OPT_66B,
+    OPT_175B,
+    ModelSpec,
+)
+from repro.models.transformer import embed_ops, layer_ops, lm_head_ops, prefill_ops
+
+__all__ = [
+    "ModelSpec",
+    "MODELS",
+    "OPT_8B",
+    "OPT_13B",
+    "OPT_30B",
+    "OPT_66B",
+    "OPT_175B",
+    "GLM_130B",
+    "KernelCostModel",
+    "CostBreakdown",
+    "OpDesc",
+    "gemm_op",
+    "attention_op",
+    "elementwise_op",
+    "allreduce_op",
+    "p2p_op",
+    "layer_ops",
+    "prefill_ops",
+    "embed_ops",
+    "lm_head_ops",
+    "decode_layer_ops",
+    "decode_step_ops",
+    "PipelineStage",
+    "pipeline_stages",
+    "boundary_bytes",
+    "check_placement",
+]

@@ -1,0 +1,219 @@
+"""Analytical kernel cost model (the FasterTransformer-kernel substitute).
+
+Durations come from a roofline with empirical efficiency curves:
+
+``t = max(flops / (peak_fp16 · eff), bytes / hbm_bandwidth) + overhead``
+
+The efficiency of a GEMM is the product of three effects every tuned GPU GEMM
+library exhibits:
+
+* a *base* efficiency (``base_efficiency``): achievable fraction of the
+  tensor-core peak on large, well-shaped FP16 GEMMs (≈0.6–0.75 in practice);
+* a *row-saturation* curve ``m / (m + m_half)``: skinny activations (small
+  batch×seq) under-fill tiles — this is why the paper's Fig. 9 finds
+  *horizontal* GEMM decomposition (splitting the already-skinny activation
+  matrix) catastrophic while *vertical* (splitting the weight) is cheap;
+* a *tile-quantisation* curve ``kn / (kn + tile_half)``: small weight panels
+  waste launch/epilogue work — this is the gentle cost vertical
+  decomposition does pay, and why a division factor of 16 stops helping
+  (Fig. 14);
+* a *giant-panel rolloff*: beyond ``tile_rolloff_threshold`` (k·n elements)
+  efficiency dips mildly — very large weight panels suffer cache/TLB
+  pressure in real GEMM libraries.  This reproduces the paper's Fig. 10(j)(k)
+  anomaly, where the *sum of four partitioned kernels* is shorter than the
+  single whole kernel ("related to the GEMM implementation"), making
+  Inter-Th out-throughput Inter-Op on the largest models.
+
+The fixed per-kernel ``overhead`` term (scheduling + tail effects on the
+device, *not* the host launch cost — that is modelled by
+:class:`repro.sim.host.Host`) is what makes many tiny kernels slower than one
+big one, the other half of the decomposition trade-off.
+
+These curves are phenomenological; DESIGN.md documents why that is the right
+substitution level (the figures depend on ratios and shapes, not on matching
+the authors' absolute microseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hw.devices import GpuSpec
+from repro.models.ops import OpDesc
+from repro.units import FP16_BYTES, us
+
+__all__ = ["KernelCostModel", "CostBreakdown"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Duration decomposition for one op (diagnostics / tests)."""
+
+    compute_us: float
+    memory_us: float
+    overhead_us: float
+
+    @property
+    def total(self) -> float:
+        return max(self.compute_us, self.memory_us) + self.overhead_us
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_us >= self.memory_us else "memory"
+
+
+class KernelCostModel:
+    """Maps :class:`OpDesc` to duration (µs) and resource footprints.
+
+    Parameters
+    ----------
+    gpu:
+        Device the kernels run on.
+    base_efficiency:
+        Peak fraction achievable by large GEMMs (see module docstring).
+    m_half:
+        Row count at which the row-saturation curve reaches 1/2.
+    tile_half:
+        ``k·n`` product at which the tile-quantisation curve reaches 1/2.
+    kernel_overhead:
+        Fixed device-side per-kernel cost (µs).
+    attention_efficiency:
+        Peak fraction for fused attention (lower than GEMM: softmax,
+        masking, and irregular shapes).
+    """
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        *,
+        base_efficiency: float = 0.72,
+        m_half: int = 24,
+        tile_half: float = 1.5e6,
+        kernel_overhead: float = us(3.0),
+        attention_efficiency: float = 0.35,
+        tile_rolloff_threshold: float = 2.5e8,
+        tile_rolloff_strength: float = 0.15,
+    ) -> None:
+        if not 0 < base_efficiency <= 1:
+            raise ConfigError("base_efficiency must be in (0, 1]")
+        if m_half < 1 or tile_half <= 0:
+            raise ConfigError("m_half/tile_half must be positive")
+        if kernel_overhead < 0:
+            raise ConfigError("kernel_overhead must be >= 0")
+        if tile_rolloff_threshold <= 0 or tile_rolloff_strength < 0:
+            raise ConfigError("tile rolloff parameters must be positive")
+        self.gpu = gpu
+        self.base_efficiency = base_efficiency
+        self.m_half = m_half
+        self.tile_half = tile_half
+        self.kernel_overhead = kernel_overhead
+        self.attention_efficiency = attention_efficiency
+        self.tile_rolloff_threshold = tile_rolloff_threshold
+        self.tile_rolloff_strength = tile_rolloff_strength
+
+    # ------------------------------------------------------------------
+    # GEMM
+    # ------------------------------------------------------------------
+    def gemm_efficiency(self, m: int, k: int, n: int) -> float:
+        """Achieved fraction of FP16 peak for an ``[m,k]@[k,n]`` GEMM."""
+        row = m / (m + self.m_half)
+        kn = float(k) * float(n)
+        tile = kn / (kn + self.tile_half)
+        rolloff = 1.0
+        if kn > self.tile_rolloff_threshold:
+            excess = (kn - self.tile_rolloff_threshold) / self.tile_rolloff_threshold
+            rolloff = 1.0 / (1.0 + self.tile_rolloff_strength * excess)
+        return self.base_efficiency * row * tile * rolloff
+
+    def gemm_breakdown(self, m: int, k: int, n: int) -> CostBreakdown:
+        """Compute/memory/overhead decomposition of a GEMM's duration."""
+        flops = 2.0 * m * k * n
+        bytes_moved = FP16_BYTES * (m * k + k * n + m * n)
+        eff = self.gemm_efficiency(m, k, n)
+        return CostBreakdown(
+            compute_us=flops / (self.gpu.fp16_flops * eff) * 1e6,
+            memory_us=bytes_moved / self.gpu.memory_bandwidth * 1e6,
+            overhead_us=self.kernel_overhead,
+        )
+
+    def gemm_time(self, m: int, k: int, n: int) -> float:
+        """GEMM duration in µs."""
+        return self.gemm_breakdown(m, k, n).total
+
+    # ------------------------------------------------------------------
+    # Attention
+    # ------------------------------------------------------------------
+    def attention_breakdown(
+        self, batch: int, q_len: int, ctx_len: int, heads: int, head_dim: int
+    ) -> CostBreakdown:
+        """Compute/memory/overhead decomposition of fused attention."""
+        # QK^T and AV: 2 matmuls of (q_len × ctx_len × head_dim) per head.
+        flops = 2.0 * 2.0 * batch * heads * q_len * ctx_len * head_dim
+        # Streams Q, K, V, scores, and output; the KV read dominates during
+        # incremental decoding (q_len = 1, ctx_len large).
+        kv_bytes = 2.0 * batch * ctx_len * heads * head_dim * FP16_BYTES
+        q_out_bytes = 2.0 * batch * q_len * heads * head_dim * FP16_BYTES
+        score_bytes = batch * heads * q_len * ctx_len * FP16_BYTES
+        return CostBreakdown(
+            compute_us=flops
+            / (self.gpu.fp16_flops * self.attention_efficiency)
+            * 1e6,
+            memory_us=(kv_bytes + q_out_bytes + score_bytes)
+            / self.gpu.memory_bandwidth
+            * 1e6,
+            overhead_us=self.kernel_overhead,
+        )
+
+    # ------------------------------------------------------------------
+    # Memory-bound ops
+    # ------------------------------------------------------------------
+    def elementwise_time(self, elems: float, rw_factor: float = 3.0) -> float:
+        """Fused elementwise kernel duration (µs)."""
+        bytes_moved = elems * FP16_BYTES * rw_factor
+        return bytes_moved / self.gpu.memory_bandwidth * 1e6 + self.kernel_overhead
+
+    # ------------------------------------------------------------------
+    # OpDesc dispatch
+    # ------------------------------------------------------------------
+    def duration(self, op: OpDesc) -> float:
+        """Duration (µs) of a non-collective op.
+
+        Collectives are priced by :class:`repro.sim.interconnect.CollectiveCostModel`
+        (they depend on the topology, not the device); asking here is an error.
+        """
+        if op.op == "gemm":
+            assert op.gemm_shape is not None
+            return self.gemm_time(*op.gemm_shape)
+        if op.op == "attention":
+            return self.attention_breakdown(
+                op.attn_batch, op.attn_q_len, op.attn_ctx_len,
+                op.attn_heads, op.attn_head_dim,
+            ).total
+        if op.op in ("elementwise", "embed", "kv_append"):
+            return self.elementwise_time(op.elems, op.rw_factor)
+        raise ConfigError(f"cost model cannot price collective op {op.name!r}")
+
+    def occupancy(self, op: OpDesc) -> float:
+        """SM footprint while resident (for the left-over policy)."""
+        if op.op == "gemm":
+            assert op.gemm_shape is not None
+            m = op.gemm_shape[0]
+            # Tiny GEMMs (decode-phase) don't fill the device.
+            return 0.92 if m >= 64 else 0.55 + 0.37 * (m / 64.0)
+        if op.op == "attention":
+            return 0.8
+        if op.op in ("elementwise", "embed", "kv_append"):
+            return 0.35
+        raise ConfigError(f"occupancy undefined for collective op {op.name!r}")
+
+    def memory_intensity(self, op: OpDesc) -> float:
+        """Fraction of HBM bandwidth consumed while running."""
+        if op.op == "gemm":
+            bd = self.gemm_breakdown(*op.gemm_shape)  # type: ignore[misc]
+            return min(0.95, max(0.15, bd.memory_us / max(bd.total, 1e-9)))
+        if op.op == "attention":
+            return 0.6
+        if op.op in ("elementwise", "embed", "kv_append"):
+            return 0.9
+        raise ConfigError(f"memory_intensity undefined for collective {op.name!r}")

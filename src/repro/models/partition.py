@@ -1,0 +1,94 @@
+"""Model partitioning: pipeline stages and placement feasibility.
+
+Tensor-parallel (intra-operator) partitioning is expressed directly in the
+per-device shapes of :mod:`repro.models.transformer`; this module adds what
+the *inter-operator* baseline needs — equal contiguous stage ranges with
+point-to-point activation transfers at stage boundaries (§4.1, Inter-Op) —
+and the memory-placement checks that decide which models fit which testbeds
+(the paper runs OPT-30B on the 4×16 GB V100 node and all models on the
+4×80 GB A100 node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError, PartitionError
+from repro.hw.devices import NodeSpec
+from repro.models.specs import ModelSpec
+from repro.units import FP16_BYTES
+
+__all__ = ["PipelineStage", "pipeline_stages", "boundary_bytes", "check_placement"]
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One pipeline stage: a contiguous block of layers on one device."""
+
+    index: int
+    device: int
+    layers: range
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def is_first(self) -> bool:
+        return self.index == 0
+
+
+def pipeline_stages(model: ModelSpec, num_stages: int) -> List[PipelineStage]:
+    """Split the model into equal contiguous stages (Inter-Op baseline).
+
+    When layers don't divide evenly the earlier stages take the extra layer
+    (GPipe's convention); stage *i* lives on device *i*.
+    """
+    if num_stages < 1:
+        raise PartitionError(f"num_stages must be >= 1, got {num_stages}")
+    if num_stages > model.num_layers:
+        raise PartitionError(
+            f"cannot split {model.num_layers} layers into {num_stages} stages"
+        )
+    base = model.num_layers // num_stages
+    extra = model.num_layers % num_stages
+    stages: List[PipelineStage] = []
+    start = 0
+    for i in range(num_stages):
+        count = base + (1 if i < extra else 0)
+        stages.append(PipelineStage(index=i, device=i, layers=range(start, start + count)))
+        start += count
+    assert start == model.num_layers
+    return stages
+
+
+def boundary_bytes(model: ModelSpec, batch: int, seq: int) -> float:
+    """Activation payload crossing a pipeline-stage boundary (bytes)."""
+    if batch < 1 or seq < 1:
+        raise ConfigError("batch and seq must be >= 1")
+    return float(batch * seq * model.hidden_size * FP16_BYTES)
+
+
+def check_placement(
+    model: ModelSpec,
+    node: NodeSpec,
+    *,
+    sharded: bool = True,
+    headroom: float = 0.95,
+) -> None:
+    """Raise :class:`PartitionError` if the model cannot be placed.
+
+    ``sharded=True`` assumes weights are split across all devices (both
+    intra-op and inter-op do this); ``sharded=False`` requires a full replica
+    per device.  ``headroom`` is deliberately tight (0.95): the paper serves
+    OPT-30B (60 GB) on 4×16 GB V100s, i.e. 15 GB of weights in 16 GB devices.
+    """
+    devices = node.num_gpus if sharded else 1
+    if not model.fits_on(devices, node.gpu.memory_capacity, headroom=headroom):
+        per_dev = model.weight_bytes_per_device(devices) / 1e9
+        cap = node.gpu.memory_capacity * headroom / 1e9
+        raise PartitionError(
+            f"{model.name} needs {per_dev:.1f} GB/device on {node.name} "
+            f"but only {cap:.1f} GB usable per device is available"
+        )

@@ -1,0 +1,206 @@
+"""Transformer model specifications (the paper's Table 1, plus extras).
+
+The serving targets are decoder-only transformers; a spec records the
+architecture numbers the cost model needs (layers, heads, hidden size,
+FFN expansion, vocab) and the FP16 weight footprint used for placement
+feasibility checks.
+
+Table 1 of the paper:
+
+======== ========== ====== ===== =========== =====
+Name     Parameters Layers Heads Hidden Size Prec.
+======== ========== ====== ===== =========== =====
+OPT-30B  60 GB      48     56    7168        FP16
+OPT-66B  132 GB     64     72    9216        FP16
+GLM-130B 260 GB     70     96    12288       FP16
+======== ========== ====== ===== =========== =====
+
+Fig. 4(a) additionally sweeps models from 8 B to 175 B parameters; we provide
+the standard OPT/GPT-3 family configurations for that sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError, PartitionError
+from repro.units import FP16_BYTES, GB
+
+__all__ = [
+    "ModelSpec",
+    "OPT_8B",
+    "OPT_13B",
+    "OPT_30B",
+    "OPT_66B",
+    "OPT_175B",
+    "GLM_130B",
+    "MODELS",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture of a decoder-only transformer.
+
+    Parameters
+    ----------
+    name:
+        Model name as in the paper.
+    num_layers / num_heads / hidden_size:
+        Standard transformer dimensions (Table 1).
+    ffn_multiplier:
+        FFN inner size as a multiple of ``hidden_size`` (4 for these models).
+    vocab_size:
+        Token vocabulary (embedding + LM head shapes).
+    weight_bytes:
+        FP16 parameter footprint in bytes.  Taken from Table 1 where the
+        paper specifies it; otherwise ``2 × approx_params``.
+    """
+
+    name: str
+    num_layers: int
+    num_heads: int
+    hidden_size: int
+    ffn_multiplier: int = 4
+    vocab_size: int = 51200
+    weight_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1 or self.num_heads < 1 or self.hidden_size < 1:
+            raise ConfigError(f"{self.name}: dimensions must be positive")
+        if self.hidden_size % self.num_heads != 0:
+            raise ConfigError(
+                f"{self.name}: hidden_size {self.hidden_size} not divisible "
+                f"by num_heads {self.num_heads}"
+            )
+        if self.weight_bytes <= 0:
+            object.__setattr__(
+                self, "weight_bytes", float(self.approx_params) * FP16_BYTES
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def ffn_size(self) -> int:
+        """FFN inner dimension."""
+        return self.hidden_size * self.ffn_multiplier
+
+    @property
+    def approx_params(self) -> int:
+        """Approximate parameter count from the architecture.
+
+        Per layer: QKV (3h²) + output projection (h²) + two FFN matmuls
+        (2·4h²) = 12h²; plus embeddings (vocab·h).
+        """
+        per_layer = 12 * self.hidden_size**2
+        embed = self.vocab_size * self.hidden_size
+        return self.num_layers * per_layer + embed
+
+    # ------------------------------------------------------------------
+    def validate_tp(self, tp: int) -> None:
+        """Check the model can be tensor-parallelised ``tp`` ways."""
+        if tp < 1:
+            raise PartitionError(f"tp must be >= 1, got {tp}")
+        if self.num_heads % tp != 0:
+            raise PartitionError(
+                f"{self.name}: {self.num_heads} heads not divisible by tp={tp}"
+            )
+        if self.hidden_size % tp != 0:
+            raise PartitionError(
+                f"{self.name}: hidden {self.hidden_size} not divisible by tp={tp}"
+            )
+
+    def weight_bytes_per_device(self, num_devices: int) -> float:
+        """FP16 weights per device when sharded ``num_devices`` ways."""
+        if num_devices < 1:
+            raise ConfigError("num_devices must be >= 1")
+        return self.weight_bytes / num_devices
+
+    def fits_on(self, num_devices: int, device_memory: float, *, headroom: float = 0.8) -> bool:
+        """Whether the sharded weights fit in ``device_memory`` per device.
+
+        ``headroom`` reserves space for activations and the KV cache.
+        """
+        return self.weight_bytes_per_device(num_devices) <= device_memory * headroom
+
+    def kv_cache_bytes(self, batch: int, context: int, *, tp: int = 1) -> float:
+        """Per-device FP16 KV-cache footprint for ``batch``×``context`` tokens."""
+        # K and V per layer, hidden split across tp.
+        return (
+            2.0
+            * self.num_layers
+            * batch
+            * context
+            * (self.hidden_size / tp)
+            * FP16_BYTES
+        )
+
+    def scaled_layers(self, num_layers: int) -> "ModelSpec":
+        """A copy with a reduced/extended layer count.
+
+        The paper does exactly this for strong-scaling feasibility (§2.2):
+        "we reduce the layer number of these models to make them
+        accommodatable in less number of devices ... reducing layer number
+        will not impact the computational and communication features."
+        """
+        if num_layers < 1:
+            raise ConfigError("num_layers must be >= 1")
+        frac = num_layers / self.num_layers
+        return ModelSpec(
+            name=f"{self.name}-L{num_layers}",
+            num_layers=num_layers,
+            num_heads=self.num_heads,
+            hidden_size=self.hidden_size,
+            ffn_multiplier=self.ffn_multiplier,
+            vocab_size=self.vocab_size,
+            weight_bytes=self.weight_bytes * frac,
+        )
+
+
+# ----------------------------------------------------------------------
+# Table 1 models
+# ----------------------------------------------------------------------
+
+OPT_30B = ModelSpec(
+    name="OPT-30B",
+    num_layers=48,
+    num_heads=56,
+    hidden_size=7168,
+    weight_bytes=GB(60.0),
+)
+
+OPT_66B = ModelSpec(
+    name="OPT-66B",
+    num_layers=64,
+    num_heads=72,
+    hidden_size=9216,
+    weight_bytes=GB(132.0),
+)
+
+GLM_130B = ModelSpec(
+    name="GLM-130B",
+    num_layers=70,
+    num_heads=96,
+    hidden_size=12288,
+    weight_bytes=GB(260.0),
+)
+
+# ----------------------------------------------------------------------
+# Fig. 4(a) sweep companions (standard OPT / GPT-3 family configs)
+# ----------------------------------------------------------------------
+
+OPT_8B = ModelSpec(name="OPT-8B", num_layers=32, num_heads=32, hidden_size=4096)
+OPT_13B = ModelSpec(name="OPT-13B", num_layers=40, num_heads=40, hidden_size=5120)
+OPT_175B = ModelSpec(
+    name="OPT-175B", num_layers=96, num_heads=96, hidden_size=12288, weight_bytes=GB(350.0)
+)
+
+#: All named models, keyed by name.
+MODELS: Dict[str, ModelSpec] = {
+    m.name: m for m in (OPT_8B, OPT_13B, OPT_30B, OPT_66B, GLM_130B, OPT_175B)
+}

@@ -1,0 +1,41 @@
+"""Parallelism strategies: the paper's two baselines, Inter-Th, and Liger.
+
+All four implement :class:`~repro.parallel.base.ParallelStrategy` and are
+interchangeable from the serving layer:
+
+* :class:`IntraOpStrategy` — Megatron tensor parallelism (low latency,
+  throughput capped by exposed collectives);
+* :class:`InterOpStrategy` — GPipe-style equal-stage pipeline (high
+  throughput, no latency benefit);
+* :class:`InterTheoreticalStrategy` — pipeline running intra-op partitioned
+  kernels sequentially (§4.1's Inter-Th);
+* :class:`InterleavedStrategy` — Liger's interleaved parallelism.
+"""
+
+from repro.parallel.base import ParallelStrategy, instantiate_op
+from repro.parallel.hybrid import HybridStrategy
+from repro.parallel.inter_op import InterOpStrategy
+from repro.parallel.inter_theoretical import (
+    InterTheoreticalStrategy,
+    partition_op_for_theoretical,
+)
+from repro.parallel.intra_op import IntraOpStrategy
+
+__all__ = [
+    "ParallelStrategy",
+    "instantiate_op",
+    "IntraOpStrategy",
+    "InterOpStrategy",
+    "HybridStrategy",
+    "InterTheoreticalStrategy",
+    "partition_op_for_theoretical",
+    "InterleavedStrategy",
+]
+
+
+def __getattr__(name):
+    if name == "InterleavedStrategy":
+        from repro.parallel.interleaved import InterleavedStrategy
+
+        return InterleavedStrategy
+    raise AttributeError(f"module 'repro.parallel' has no attribute {name!r}")

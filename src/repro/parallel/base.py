@@ -1,0 +1,262 @@
+"""The parallel-strategy interface shared by the baselines and Liger.
+
+A :class:`ParallelStrategy` turns arriving :class:`~repro.serving.request.Batch`
+objects into simulator kernels on the machine's streams.  The serving server
+(:mod:`repro.serving.server`) owns the clock: it calls
+:meth:`ParallelStrategy.submit_batch` at each batch's arrival time, and the
+strategy reports completions through registered callbacks.
+
+Completion detection is uniform: every simulator kernel carries its
+``batch_id``; the strategy counts instantiated kernels per batch and an
+:meth:`~repro.sim.gpu.Machine.on_kernel_complete` observer decrements the
+count — when it hits zero the batch is done.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError, SimulationError
+from repro.hw.devices import NodeSpec
+from repro.models.kvcache import decode_step_ops
+from repro.models.ops import OpDesc
+from repro.models.specs import ModelSpec
+from repro.models.transformer import prefill_ops
+from repro.profiling.profiler import OpProfiler
+from repro.serving.request import Batch, Phase
+from repro.sim.gpu import Machine
+from repro.sim.host import Host
+from repro.sim.kernel import Kernel
+from repro.sim.memory import NodeMemoryModel
+
+__all__ = ["ParallelStrategy", "instantiate_op"]
+
+BatchCallback = Callable[[Batch, float], None]
+
+
+def instantiate_op(
+    op: OpDesc,
+    gpus: List[int],
+    batch_id: int,
+    profiler: OpProfiler,
+) -> Dict[int, Kernel]:
+    """Materialise one op as simulator kernels, one per participating GPU.
+
+    Compute-like ops become independent per-GPU kernel clones (each device
+    executes its shard); ``all_reduce`` becomes a rendezvous collective over
+    ``gpus``; ``p2p`` becomes a two-member collective over its endpoints.
+    """
+    if not gpus:
+        raise ConfigError(f"op {op.name}: no target GPUs")
+    if op.op == "all_reduce":
+        coll = profiler.collectives.make_allreduce(
+            op.comm_bytes,
+            gpus,
+            batch_id=batch_id,
+            layer=op.layer,
+            name=f"{op.name}_b{batch_id}",
+            op=op.op,
+        )
+        return dict(coll.members)
+    if op.op == "p2p":
+        coll = profiler.collectives.make_p2p(
+            op.comm_bytes,
+            op.p2p_src,
+            op.p2p_dst,
+            batch_id=batch_id,
+            layer=op.layer,
+            name=f"{op.name}_b{batch_id}",
+        )
+        return dict(coll.members)
+    duration = profiler.duration(op)
+    occupancy = profiler.occupancy(op)
+    mem = profiler.memory_intensity(op)
+    return {
+        gpu: Kernel(
+            name=f"{op.name}_b{batch_id}@g{gpu}",
+            kind=op.kind,
+            duration=duration,
+            occupancy=occupancy,
+            memory_intensity=mem,
+            batch_id=batch_id,
+            layer=op.layer,
+            op=op.op,
+            decomposable=op.decomposable,
+            meta={"desc": op},
+        )
+        for gpu in gpus
+    }
+
+
+class ParallelStrategy(abc.ABC):
+    """Base class: model/node binding, batch bookkeeping, op construction.
+
+    Subclasses implement :meth:`submit_batch` (and may override
+    :meth:`bind` to create their stream layout).
+    """
+
+    #: Strategy identifier used by the serving API ("intra", "inter", ...).
+    name: str = "base"
+
+    #: Fraction of a batch's per-device workspace resident at any instant.
+    #: 1.0 for tensor-parallel execution (the whole shard lives on every
+    #: device for the batch's lifetime); pipelines override with
+    #: ``1/num_stages`` (a batch occupies one stage at a time).
+    memory_share: float = 1.0
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        node: NodeSpec,
+        *,
+        profiler: Optional[OpProfiler] = None,
+        track_memory: bool = True,
+    ) -> None:
+        self.model = model
+        self.node = node
+        self.profiler = profiler or OpProfiler(node)
+        self.track_memory = track_memory
+        self.memory: Optional[NodeMemoryModel] = None
+        self.machine: Optional[Machine] = None
+        self.host: Optional[Host] = None
+        self._callbacks: List[BatchCallback] = []
+        self._pending_kernels: Dict[int, int] = {}
+        self._open_batches: Dict[int, Batch] = {}
+        self._closed_batches: set = set()
+        self._memory_reserved: set = set()
+        self.batches_completed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, machine: Machine, host: Host) -> None:
+        """Attach to a machine/host pair; called once by the server."""
+        if self.machine is not None:
+            raise ConfigError(f"strategy {self.name} is already bound")
+        if machine.node is not self.node:
+            raise ConfigError("strategy node and machine node differ")
+        self.machine = machine
+        self.host = host
+        if self.track_memory:
+            self.memory = NodeMemoryModel(self.model, self.node)
+        machine.on_kernel_complete(self._on_kernel_complete)
+
+    def on_batch_complete(self, cb: BatchCallback) -> None:
+        """Register ``cb(batch, completion_time_us)``."""
+        self._callbacks.append(cb)
+
+    @abc.abstractmethod
+    def submit_batch(self, batch: Batch) -> None:
+        """Called by the server at the batch's arrival time."""
+
+    # ------------------------------------------------------------------
+    # Op construction
+    # ------------------------------------------------------------------
+    def ops_for_batch(self, batch: Batch, tp: int, layers=None) -> List[OpDesc]:
+        """The per-device op sequence this batch requires."""
+        if batch.phase is Phase.PREFILL:
+            return prefill_ops(self.model, batch.size, batch.seq_len, tp, layers=layers)
+        return decode_step_ops(
+            self.model, batch.size, batch.context_len, tp, layers=layers
+        )
+
+    # ------------------------------------------------------------------
+    # Completion tracking
+    #
+    # Two usage styles:
+    #   * static (the baselines): ``track_batch(batch, n)`` — all kernels are
+    #     known up front; the batch completes when n kernels retire.
+    #   * dynamic (Liger): ``register_batch`` at submit, ``add_pending`` as
+    #     kernels are launched round by round (runtime decomposition changes
+    #     the count), ``close_batch`` when the batch's FuncVec drains.
+    # ------------------------------------------------------------------
+    def register_batch(self, batch: Batch) -> None:
+        """Open a batch for dynamic kernel accounting.
+
+        Device memory is *not* reserved here: a queued batch waits in host
+        memory.  The workspace (and decode KV cache) is reserved lazily when
+        the batch's first kernel retires — i.e. once it is actually
+        executing — and released at completion, so backlog depth does not
+        fictitiously exhaust HBM.
+        """
+        if batch.batch_id in self._open_batches:
+            raise ConfigError(f"batch {batch.batch_id} submitted twice")
+        self._pending_kernels[batch.batch_id] = 0
+        self._open_batches[batch.batch_id] = batch
+
+    def _reserve_batch_memory(self, batch: Batch) -> None:
+        if self.memory is None or batch.batch_id in self._memory_reserved:
+            return
+        self.memory.reserve_batch(
+            batch.batch_id,
+            batch.size,
+            batch.seq_len,
+            context=batch.context_len if batch.phase is Phase.DECODE else 0,
+            share=self.memory_share,
+        )
+        self._memory_reserved.add(batch.batch_id)
+
+    def add_pending(self, batch_id: int, num_kernels: int) -> None:
+        """Account ``num_kernels`` newly-launched kernels for an open batch."""
+        if batch_id not in self._open_batches:
+            raise ConfigError(f"batch {batch_id} is not open")
+        if num_kernels < 0:
+            raise ConfigError("num_kernels must be >= 0")
+        self._pending_kernels[batch_id] += num_kernels
+
+    def close_batch(self, batch_id: int, time: float) -> None:
+        """Mark that no further kernels will be launched for this batch."""
+        if batch_id not in self._open_batches:
+            raise ConfigError(f"batch {batch_id} is not open")
+        self._closed_batches.add(batch_id)
+        self._maybe_finish(batch_id, time)
+
+    def track_batch(self, batch: Batch, num_kernels: int) -> None:
+        """Static style: all ``num_kernels`` known at submit time."""
+        if num_kernels < 1:
+            raise ConfigError(f"batch {batch.batch_id}: no kernels to track")
+        self.register_batch(batch)
+        self.add_pending(batch.batch_id, num_kernels)
+        self._closed_batches.add(batch.batch_id)
+
+    def _on_kernel_complete(self, kernel: Kernel, time: float) -> None:
+        bid = kernel.batch_id
+        remaining = self._pending_kernels.get(bid)
+        if remaining is None:
+            return  # infrastructure kernel or foreign batch
+        if remaining <= 0:
+            raise SimulationError(f"batch {bid}: completion underflow")
+        # First retired kernel ⇒ the batch is executing: claim its workspace.
+        self._reserve_batch_memory(self._open_batches[bid])
+        self._pending_kernels[bid] = remaining - 1
+        self._maybe_finish(bid, time)
+
+    def _maybe_finish(self, bid: int, time: float) -> None:
+        if bid not in self._closed_batches:
+            return
+        if self._pending_kernels.get(bid, 1) != 0:
+            return
+        batch = self._open_batches.pop(bid)
+        del self._pending_kernels[bid]
+        self._closed_batches.discard(bid)
+        self.batches_completed += 1
+        if self.memory is not None:
+            self.memory.release_batch(bid)
+            self._memory_reserved.discard(bid)
+        self._finish_batch(batch, time)
+
+    def _finish_batch(self, batch: Batch, time: float) -> None:
+        """Hook: invoked when a batch's last kernel retires."""
+        for cb in self._callbacks:
+            cb(batch, time)
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight_batches(self) -> int:
+        return len(self._open_batches)
+
+    def _require_bound(self) -> Machine:
+        if self.machine is None or self.host is None:
+            raise ConfigError(f"strategy {self.name} used before bind()")
+        return self.machine

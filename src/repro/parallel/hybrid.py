@@ -1,0 +1,131 @@
+"""Hybrid tensor×pipeline parallelism (extension beyond the paper).
+
+The paper compares pure intra-op (tp = p) against pure inter-op (pp = p).
+Production systems often deploy the middle ground — e.g. tp=2 within
+NVLink-paired GPUs and pp=2 across pairs — trading some of intra-op's
+latency for some of inter-op's throughput.  This strategy implements that
+design point so Liger can be compared against it: stage *s* owns the GPU
+group ``[s·tp, (s+1)·tp)``, executes its layer range tensor-parallel within
+the group (all-reduces stay inside the group), and hands activations to the
+next stage with one rank-to-rank transfer per tensor rank, decoupled from
+the compute streams with events exactly like
+:class:`~repro.parallel.inter_op.InterOpStrategy`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.models.ops import p2p_op
+from repro.models.partition import PipelineStage, boundary_bytes, pipeline_stages
+from repro.parallel.base import ParallelStrategy, instantiate_op
+from repro.serving.request import Batch, Phase
+from repro.sim.events import CudaEvent
+from repro.sim.stream import Stream
+from repro.units import FP16_BYTES
+
+__all__ = ["HybridStrategy"]
+
+
+class HybridStrategy(ParallelStrategy):
+    """tp-way tensor parallelism inside pp pipeline stages."""
+
+    name = "hybrid"
+
+    def __init__(self, model, node, *, profiler=None, tp: Optional[int] = None,
+                 pp: Optional[int] = None, track_memory: bool = True):
+        super().__init__(model, node, profiler=profiler, track_memory=track_memory)
+        p = node.num_gpus
+        if tp is None and pp is None:
+            # Default: the squarest factorisation, tp as large as possible.
+            tp = 1
+            for cand in range(int(p**0.5), 0, -1):
+                if p % cand == 0:
+                    tp = p // cand
+                    break
+        elif tp is None:
+            tp = p // pp  # type: ignore[operator]
+        pp = p // tp
+        if tp * pp != p:
+            raise ConfigError(f"tp({tp})×pp({pp}) must equal num_gpus({p})")
+        model.validate_tp(tp)
+        self.tp = tp
+        self.pp = pp
+        self.stages: List[PipelineStage] = pipeline_stages(model, pp)
+        self.memory_share = 1.0 / pp
+
+    # ------------------------------------------------------------------
+    def stage_gpus(self, stage_index: int) -> List[int]:
+        """The GPU group owning one pipeline stage."""
+        start = stage_index * self.tp
+        return list(range(start, start + self.tp))
+
+    def bind(self, machine, host) -> None:
+        super().bind(machine, host)
+        self._main: Dict[int, Stream] = {}
+        self._pipe_in: Dict[int, Stream] = {}
+        self._pipe_out: Dict[int, Stream] = {}
+        for g in range(self.node.num_gpus):
+            self._main[g] = machine.gpu(g).stream("main")
+            self._pipe_in[g] = machine.gpu(g).stream("pipe_in")
+            self._pipe_out[g] = machine.gpu(g).stream("pipe_out")
+
+    def _boundary_bytes(self, batch: Batch) -> float:
+        if batch.phase is Phase.PREFILL:
+            return boundary_bytes(self.model, batch.size, batch.seq_len)
+        return float(batch.size * self.model.hidden_size * FP16_BYTES)
+
+    # ------------------------------------------------------------------
+    def submit_batch(self, batch: Batch) -> None:
+        self._require_bound()
+        host = self.host
+        assert host is not None
+        host.catch_up()
+        bid = batch.batch_id
+
+        # Build per-stage kernel plans first so the total count is known.
+        stage_plans: List[List[Dict[int, object]]] = []
+        total = 0
+        for i, stage in enumerate(self.stages):
+            gpus = self.stage_gpus(i)
+            plan = []
+            for op in self.ops_for_batch(batch, tp=self.tp, layers=stage.layers):
+                kernels = instantiate_op(op, gpus, bid, self.profiler)
+                plan.append(kernels)
+                total += len(kernels)
+            stage_plans.append(plan)
+            if i > 0:
+                total += 2 * self.tp  # one transfer pair per tensor rank
+
+        self.track_batch(batch, total)
+
+        for i, stage in enumerate(self.stages):
+            gpus = self.stage_gpus(i)
+            if i > 0:
+                prev_gpus = self.stage_gpus(i - 1)
+                for rank in range(self.tp):
+                    src, dst = prev_gpus[rank], gpus[rank]
+                    done = CudaEvent(f"h_s{i-1}r{rank}_done_b{bid}")
+                    host.record_event(self._main[src], done)
+                    xfer = instantiate_op(
+                        p2p_op(
+                            f"hybrid_xfer_s{i}r{rank}",
+                            stage.layers[0],
+                            self._boundary_bytes(batch),
+                            src,
+                            dst,
+                        ),
+                        [src, dst],
+                        bid,
+                        self.profiler,
+                    )
+                    host.wait_event(self._pipe_out[src], done)
+                    host.launch_kernel(self._pipe_out[src], xfer[src])
+                    arrived = CudaEvent(f"h_s{i}r{rank}_in_b{bid}")
+                    host.launch_kernel(self._pipe_in[dst], xfer[dst])
+                    host.record_event(self._pipe_in[dst], arrived)
+                    host.wait_event(self._main[dst], arrived)
+            for kernels in stage_plans[i]:
+                for gpu_id, kernel in kernels.items():
+                    host.launch_kernel(self._main[gpu_id], kernel)

@@ -1,0 +1,56 @@
+"""Intra-operator (tensor) parallelism — the Megatron-LM baseline (§4.1).
+
+Every operator is partitioned across all GPUs of the node; each device runs
+its shard of every kernel and the devices synchronise with two all-reduces
+per transformer layer.  Batches are processed strictly one at a time: each
+batch's kernels are appended to a single per-GPU stream, so a new batch's
+computation starts only when the previous batch fully drains — which is
+exactly why the intra-op approach saturates early ("computation units being
+left idle when communicating", §2.2.1): during every all-reduce the device's
+compute pipeline idles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.parallel.base import ParallelStrategy, instantiate_op
+from repro.serving.request import Batch
+from repro.sim.stream import Stream
+
+__all__ = ["IntraOpStrategy"]
+
+
+class IntraOpStrategy(ParallelStrategy):
+    """Megatron-style tensor parallelism over all GPUs of the node."""
+
+    name = "intra"
+
+    def bind(self, machine, host) -> None:
+        super().bind(machine, host)
+        # One in-order stream per device; TP executes lock-step across them.
+        self._streams: Dict[int, Stream] = {
+            g: machine.gpu(g).stream("main") for g in range(self.node.num_gpus)
+        }
+
+    def submit_batch(self, batch: Batch) -> None:
+        machine = self._require_bound()
+        host = self.host
+        assert host is not None
+        # The launcher ranks were idle waiting for work; they cannot have
+        # issued anything before the batch arrived.
+        host.catch_up()
+
+        gpus = list(range(self.node.num_gpus))
+        ops = self.ops_for_batch(batch, tp=self.node.num_gpus)
+        total = 0
+        per_op_kernels: List[Dict[int, object]] = []
+        for op in ops:
+            kernels = instantiate_op(op, gpus, batch.batch_id, self.profiler)
+            per_op_kernels.append(kernels)
+            total += len(kernels)
+        self.track_batch(batch, total)
+        # Launch in op order, per rank; all ranks mirror the same sequence.
+        for kernels in per_op_kernels:
+            for gpu_id, kernel in kernels.items():
+                host.launch_kernel(self._streams[gpu_id], kernel)

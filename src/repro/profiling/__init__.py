@@ -1,0 +1,10 @@
+"""Offline profiling: no-load kernel durations and contention factors (§3.5).
+
+The preprocessing phase's offline procedure (Fig. 5): collect runtime traces
+and contention factors once, before deployment.
+"""
+
+from repro.profiling.contention_profiler import ContentionFactors, ContentionProfiler
+from repro.profiling.profiler import OpProfiler, op_key
+
+__all__ = ["OpProfiler", "op_key", "ContentionFactors", "ContentionProfiler"]

@@ -1,0 +1,64 @@
+"""The serving system: requests, arrivals, workloads, server, and metrics.
+
+This subpackage plays the role of the serving architecture Liger slots into
+as a runtime backend (Fig. 5): it receives requests, packs them into batches,
+and hands batches to a parallel strategy at their arrival times, measuring
+the paper's two metrics — per-request latency (pending + execution) and
+throughput.
+"""
+
+from repro.serving.arrival import (
+    ArrivalProcess,
+    BurstyProcess,
+    ConstantRate,
+    PoissonProcess,
+    TraceReplay,
+)
+from repro.serving.generation import (
+    ContinuousBatchingServer,
+    GenRequest,
+    StaticBatchingServer,
+    generation_workload,
+)
+from repro.serving.lifecycle import (
+    ChatRequest,
+    LifecycleResult,
+    LifecycleServer,
+    chat_workload,
+)
+from repro.serving.metrics import LatencyStats, ServingMetrics
+from repro.serving.request import Batch, Phase, Request
+from repro.serving.server import Server, ServingResult
+from repro.serving.workload import (
+    general_trace,
+    generative_trace,
+    pack_batches,
+    pack_batches_bucketed,
+)
+
+__all__ = [
+    "Request",
+    "Batch",
+    "Phase",
+    "ArrivalProcess",
+    "ConstantRate",
+    "PoissonProcess",
+    "BurstyProcess",
+    "TraceReplay",
+    "general_trace",
+    "generative_trace",
+    "pack_batches",
+    "pack_batches_bucketed",
+    "ServingMetrics",
+    "LatencyStats",
+    "Server",
+    "ServingResult",
+    "GenRequest",
+    "generation_workload",
+    "StaticBatchingServer",
+    "ContinuousBatchingServer",
+    "ChatRequest",
+    "chat_workload",
+    "LifecycleServer",
+    "LifecycleResult",
+]

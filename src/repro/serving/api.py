@@ -1,0 +1,115 @@
+"""One-call serving API: build the whole stack and run a workload.
+
+This is the library's front door::
+
+    from repro import serve, v100_nvlink_node, OPT_30B
+    result = serve(model=OPT_30B, node=v100_nvlink_node(4),
+                   strategy="liger", arrival_rate=8.0, num_requests=64)
+    print(result.summary())
+
+``strategy`` selects among the paper's four systems:
+
+* ``"intra"`` — Megatron tensor parallelism (Intra-Op baseline),
+* ``"inter"`` — equal-stage pipeline (Inter-Op baseline),
+* ``"inter_th"`` — pipeline over partitioned kernels (Inter-Th baseline),
+* ``"liger"`` — interleaved parallelism (the paper's contribution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+from repro.errors import ConfigError
+from repro.hw.devices import NodeSpec
+from repro.models.specs import ModelSpec
+from repro.parallel.base import ParallelStrategy
+from repro.parallel.hybrid import HybridStrategy
+from repro.parallel.intra_op import IntraOpStrategy
+from repro.parallel.inter_op import InterOpStrategy
+from repro.parallel.inter_theoretical import InterTheoreticalStrategy
+from repro.profiling.profiler import OpProfiler
+from repro.serving.server import Server, ServingResult
+from repro.serving.workload import general_trace, generative_trace
+from repro.sim.interconnect import NcclConfig
+
+__all__ = ["serve", "make_strategy", "STRATEGIES"]
+
+
+def _strategy_registry() -> Dict[str, Type[ParallelStrategy]]:
+    # Liger imports the serving layer, so resolve it lazily.
+    from repro.parallel.interleaved import InterleavedStrategy
+
+    return {
+        "intra": IntraOpStrategy,
+        "inter": InterOpStrategy,
+        "inter_th": InterTheoreticalStrategy,
+        "hybrid": HybridStrategy,
+        "liger": InterleavedStrategy,
+    }
+
+
+#: Public names of the available strategies.
+STRATEGIES: Tuple[str, ...] = ("intra", "inter", "inter_th", "hybrid", "liger")
+
+
+def make_strategy(
+    name: str,
+    model: ModelSpec,
+    node: NodeSpec,
+    *,
+    profiler: Optional[OpProfiler] = None,
+    **kwargs,
+) -> ParallelStrategy:
+    """Instantiate a strategy by name."""
+    registry = _strategy_registry()
+    if name not in registry:
+        raise ConfigError(f"unknown strategy {name!r}; choose from {STRATEGIES}")
+    if profiler is None:
+        # Liger ships with the reduced NCCL footprint (§3.5 mitigation);
+        # baselines keep the library defaults.
+        nccl = NcclConfig().reduced() if name == "liger" else NcclConfig()
+        profiler = OpProfiler(node, nccl=nccl)
+    return registry[name](model, node, profiler=profiler, **kwargs)
+
+
+def serve(
+    model: ModelSpec,
+    node: NodeSpec,
+    *,
+    strategy: str = "liger",
+    arrival_rate: float = 4.0,
+    num_requests: int = 64,
+    batch_size: int = 2,
+    workload: str = "general",
+    seq_range: Tuple[int, int] = (16, 128),
+    context_len: int = 16,
+    seed: int = 0,
+    record_trace: bool = False,
+    check_memory: bool = True,
+    **strategy_kwargs,
+) -> ServingResult:
+    """Serve a synthetic workload and return latency/throughput metrics.
+
+    Parameters mirror the paper's experimental setup: ``workload="general"``
+    gives the §4.2 random traces (seq 16–128), ``workload="generative"`` the
+    §4.3 decode steps (context 16, batch 32 by default).
+    """
+    strat = make_strategy(strategy, model, node, **strategy_kwargs)
+    if workload == "general":
+        batches = general_trace(
+            num_requests, arrival_rate, batch_size, seq_range=seq_range, seed=seed
+        )
+    elif workload == "generative":
+        batches = generative_trace(
+            num_requests,
+            arrival_rate,
+            batch_size=batch_size,
+            context_len=context_len,
+            seed=seed,
+        )
+    else:
+        raise ConfigError(f"unknown workload {workload!r}")
+    server = Server(
+        model, node, strat, record_trace=record_trace, check_memory=check_memory
+    )
+    return server.run(batches)

@@ -1,0 +1,150 @@
+"""Arrival processes: when requests hit the serving system.
+
+The paper sweeps a *constant* request rate ("we use a constant request rate
+instead of a fluctuated request rate", §4.2); :class:`ConstantRate` is the
+default everywhere.  :class:`PoissonProcess` and :class:`TraceReplay` are
+provided for the open-world experiments a downstream user will want (and for
+the fluctuating-rate extension the paper leaves implicit).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import seconds
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantRate",
+    "PoissonProcess",
+    "BurstyProcess",
+    "TraceReplay",
+]
+
+
+class ArrivalProcess:
+    """Interface: produce ``n`` arrival timestamps (µs, sorted)."""
+
+    def arrivals(self, n: int) -> List[float]:
+        """Return the first ``n`` arrival times (µs, ascending)."""
+        raise NotImplementedError
+
+
+class ConstantRate(ArrivalProcess):
+    """Deterministic arrivals at ``rate`` requests/second.
+
+    The first request arrives at one inter-arrival interval, matching a
+    system observed from steady state.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ConfigError(f"rate must be positive, got {rate}")
+        self.rate = rate
+
+    def arrivals(self, n: int) -> List[float]:
+        """Evenly spaced arrivals at the configured rate."""
+        if n < 0:
+            raise ConfigError("n must be >= 0")
+        gap = seconds(1.0) / self.rate
+        return [gap * (i + 1) for i in range(n)]
+
+
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals at mean ``rate`` requests/second (seeded)."""
+
+    def __init__(self, rate: float, *, seed: int = 0) -> None:
+        if rate <= 0:
+            raise ConfigError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.seed = seed
+
+    def arrivals(self, n: int) -> List[float]:
+        """Exponential inter-arrival gaps from the seeded RNG."""
+        if n < 0:
+            raise ConfigError("n must be >= 0")
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(scale=seconds(1.0) / self.rate, size=n)
+        return list(np.cumsum(gaps))
+
+
+class BurstyProcess(ArrivalProcess):
+    """Alternating high/low-rate phases — the fluctuating workload the paper
+    mentions but does not evaluate (§4.2: "we use a constant request rate
+    instead of a fluctuated request rate").
+
+    Real serving traffic bursts.  Interleaved parallelism's advantage window
+    widens under bursts: during a burst Liger absorbs the backlog at
+    intra-op latency by overlapping the queued batches, while intra-op's
+    queue drains only at its lower saturation throughput.
+
+    Parameters
+    ----------
+    mean_rate:
+        Long-run average rate (requests/second).
+    burstiness:
+        Ratio of burst rate to lull rate (> 1).  Phases hold equal request
+        *counts*, so the long-run mean is the harmonic mean of the two
+        rates: burst = ``mean·(b+1)/2`` and lull = ``mean·(b+1)/(2b)``.
+    phase_requests:
+        Number of requests per phase before switching.
+    """
+
+    def __init__(
+        self,
+        mean_rate: float,
+        *,
+        burstiness: float = 4.0,
+        phase_requests: int = 8,
+    ) -> None:
+        if mean_rate <= 0:
+            raise ConfigError(f"mean_rate must be positive, got {mean_rate}")
+        if burstiness <= 1.0:
+            raise ConfigError("burstiness must be > 1")
+        if phase_requests < 1:
+            raise ConfigError("phase_requests must be >= 1")
+        self.mean_rate = mean_rate
+        self.burst_rate = mean_rate * (burstiness + 1.0) / 2.0
+        self.lull_rate = mean_rate * (burstiness + 1.0) / (2.0 * burstiness)
+        self.phase_requests = phase_requests
+
+    def arrivals(self, n: int) -> List[float]:
+        """Alternating burst/lull phases of ``phase_requests`` each."""
+        if n < 0:
+            raise ConfigError("n must be >= 0")
+        out: List[float] = []
+        t = 0.0
+        in_burst = True
+        since_switch = 0
+        for _ in range(n):
+            rate = self.burst_rate if in_burst else self.lull_rate
+            t += seconds(1.0) / rate
+            out.append(t)
+            since_switch += 1
+            if since_switch >= self.phase_requests:
+                in_burst = not in_burst
+                since_switch = 0
+        return out
+
+
+class TraceReplay(ArrivalProcess):
+    """Replay explicit timestamps (µs); must be non-negative and sorted."""
+
+    def __init__(self, timestamps: Sequence[float]) -> None:
+        ts = list(timestamps)
+        if any(t < 0 for t in ts):
+            raise ConfigError("trace timestamps must be non-negative")
+        if ts != sorted(ts):
+            raise ConfigError("trace timestamps must be sorted")
+        self.timestamps = ts
+
+    def arrivals(self, n: int) -> List[float]:
+        """The first ``n`` timestamps of the recorded trace."""
+        if n > len(self.timestamps):
+            raise ConfigError(
+                f"trace has {len(self.timestamps)} arrivals, {n} requested"
+            )
+        return self.timestamps[:n]

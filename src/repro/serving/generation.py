@@ -1,0 +1,384 @@
+"""Multi-token generation serving: static vs continuous batching.
+
+The paper's §4.3 evaluates a *single* decode iteration per request.  Real
+generative serving runs many iterations per request, and the dominant
+batching disciplines differ:
+
+* **Static batching** (FasterTransformer-style): requests are grouped once;
+  the whole batch runs ``max(gen_tokens)`` decode iterations and every
+  member is released only when the batch finishes.  Short requests pay for
+  long ones, and arrivals wait for a full batch slot.
+* **Continuous batching** (Orca-style iteration-level scheduling, which the
+  paper lists as orthogonal related work): the running batch is re-formed
+  at every iteration boundary — finished sequences leave immediately and
+  queued arrivals join immediately.
+
+Both servers drive any :class:`~repro.parallel.base.ParallelStrategy`
+(including Liger) by submitting one decode-step :class:`Batch` per
+iteration, so interleaved parallelism composes with either discipline: with
+several iteration batches in flight Liger overlaps one iteration's
+all-reduces with another's GEMMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.partition import check_placement
+from repro.serving.arrival import ArrivalProcess, ConstantRate
+from repro.serving.metrics import ServingMetrics
+from repro.serving.request import Batch, Phase, Request
+from repro.serving.server import ServingResult
+from repro.sim.contention import ContentionModel, default_contention_for
+from repro.sim.engine import Engine
+from repro.sim.gpu import Machine
+from repro.sim.host import Host
+from repro.sim.tracing import Trace
+
+__all__ = [
+    "GenRequest",
+    "generation_workload",
+    "StaticBatchingServer",
+    "ContinuousBatchingServer",
+]
+
+
+@dataclass
+class GenRequest:
+    """One generation job: decode ``gen_tokens`` tokens over a KV context."""
+
+    rid: int
+    arrival: float
+    context_len: int
+    gen_tokens: int
+    tokens_done: int = 0
+    completion: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.gen_tokens < 1 or self.context_len < 1:
+            raise ConfigError(f"request {self.rid}: invalid generation job")
+
+    @property
+    def finished(self) -> bool:
+        return self.tokens_done >= self.gen_tokens
+
+    @property
+    def current_context(self) -> int:
+        """KV length at the next iteration."""
+        return self.context_len + self.tokens_done
+
+    def as_request(self) -> Request:
+        """The single-iteration view used to build a decode Batch."""
+        return Request(
+            rid=self.rid,
+            arrival=self.arrival,
+            seq_len=1,
+            phase=Phase.DECODE,
+            context_len=self.current_context,
+        )
+
+
+def generation_workload(
+    num_requests: int,
+    rate: float,
+    *,
+    context_len: int = 16,
+    gen_tokens: tuple = (4, 16),
+    seed: int = 0,
+    arrival: Optional[ArrivalProcess] = None,
+) -> List[GenRequest]:
+    """Random generation jobs: uniform output lengths at a constant rate."""
+    if num_requests < 1:
+        raise ConfigError("num_requests must be >= 1")
+    lo, hi = gen_tokens
+    if not 1 <= lo <= hi:
+        raise ConfigError(f"invalid gen_tokens range {gen_tokens}")
+    proc = arrival or ConstantRate(rate)
+    times = proc.arrivals(num_requests)
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(lo, hi + 1, size=num_requests)
+    return [
+        GenRequest(
+            rid=i, arrival=times[i], context_len=context_len,
+            gen_tokens=int(lengths[i]),
+        )
+        for i in range(num_requests)
+    ]
+
+
+class _GenerationServerBase:
+    """Shared plumbing: machine/host construction and result assembly."""
+
+    def __init__(
+        self,
+        model,
+        node,
+        strategy,
+        *,
+        contention: Optional[ContentionModel] = None,
+        record_trace: bool = False,
+        check_memory: bool = True,
+    ) -> None:
+        if strategy.model is not model or strategy.node is not node:
+            raise ConfigError("strategy was built for a different model/node")
+        if check_memory:
+            check_placement(model, node)
+        self.model = model
+        self.node = node
+        self.strategy = strategy
+        self.engine = Engine()
+        self.trace = Trace() if record_trace else None
+        self.machine = Machine(
+            node, self.engine,
+            contention=contention or default_contention_for(node.name),
+            trace=self.trace,
+        )
+        self.host = Host(self.machine)
+        self.metrics = ServingMetrics()
+        self.total_tokens = 0
+        # The strategy's per-batch accounting would re-reserve the KV cache
+        # for every iteration; generation memory lives at sequence/group
+        # granularity, so this server owns the memory model instead.
+        strategy.track_memory = False
+        from repro.sim.memory import NodeMemoryModel
+
+        self.memory = NodeMemoryModel(model, node)
+        strategy.bind(self.machine, self.host)
+        strategy.on_batch_complete(self._on_batch_complete)
+
+    # Subclasses map batch completions back to generation progress.
+    def _on_batch_complete(self, batch: Batch, time: float) -> None:
+        raise NotImplementedError
+
+    def _finish_request(self, gen: GenRequest, time: float) -> None:
+        gen.completion = time
+        proxy = Request(
+            rid=gen.rid, arrival=gen.arrival, seq_len=gen.gen_tokens,
+            phase=Phase.DECODE, context_len=gen.context_len,
+        )
+        proxy.completion = time
+        self.metrics.record([proxy])
+
+    def _result(self, expected: int) -> ServingResult:
+        if self.metrics.num_completed != expected:
+            raise ConfigError(
+                f"served {self.metrics.num_completed} of {expected} requests"
+            )
+        return ServingResult(
+            strategy=f"{self.strategy.name}+{self.discipline}",
+            model=self.model.name,
+            node=self.node.name,
+            num_requests=expected,
+            metrics=self.metrics,
+            trace=self.trace,
+            wall_events=self.engine.events_processed,
+        )
+
+    discipline = "generation"
+
+
+class StaticBatchingServer(_GenerationServerBase):
+    """FasterTransformer-style static batches of generation jobs.
+
+    Requests are grouped in arrival order into fixed-size batches; each
+    batch runs ``max(gen_tokens)`` iterations (every member pays the padded
+    length) and all members are released at the batch's last iteration.
+    Iterations of one batch are submitted back-to-back; batches of the queue
+    are submitted as they form, so the underlying strategy may still overlap
+    *across* batches (Liger benefits; intra-op simply queues).
+    """
+
+    discipline = "static"
+
+    def __init__(self, model, node, strategy, *, batch_size: int = 32, **kw) -> None:
+        super().__init__(model, node, strategy, **kw)
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self._groups: Dict[int, dict] = {}
+        self._pending_groups: List[List[GenRequest]] = []
+
+    def run(self, requests: Sequence[GenRequest]) -> ServingResult:
+        """Serve the generation jobs to completion; returns metrics."""
+        ordered = sorted(requests, key=lambda r: r.arrival)
+        for i in range(0, len(ordered), self.batch_size):
+            group = list(ordered[i : i + self.batch_size])
+            arrival = max(r.arrival for r in group)
+            self.engine.schedule_at(
+                arrival, lambda g=group: self._enqueue_group(g), priority=10
+            )
+        self.machine.run()
+        return self._result(len(ordered))
+
+    def _enqueue_group(self, group: List[GenRequest]) -> None:
+        self._pending_groups.append(group)
+        self._drain_pending_groups()
+
+    def _drain_pending_groups(self) -> None:
+        """Admit queued groups while their KV/workspace fits free HBM.
+
+        Queued generation jobs wait in host memory; a group's device
+        reservation happens only when it is admitted for execution, so a
+        deep backlog cannot fictitiously exhaust HBM.
+        """
+        from repro.errors import OutOfMemoryError
+
+        while self._pending_groups:
+            group = self._pending_groups[0]
+            try:
+                self._reserve_group(group)
+            except OutOfMemoryError:
+                if self._groups:  # something running will free memory
+                    return
+                raise  # nothing can ever free: genuinely does not fit
+            self._pending_groups.pop(0)
+            self._submit_group(group)
+
+    def _reserve_group(self, group: List[GenRequest]) -> None:
+        from repro.sim.memory import activation_bytes
+
+        tp = self.node.num_gpus
+        iterations = max(r.gen_tokens for r in group)
+        ctx_final = max(r.context_len for r in group) + iterations
+        self.memory.reserve(
+            f"group{group[0].rid}",
+            self.model.kv_cache_bytes(len(group), ctx_final, tp=tp)
+            + activation_bytes(self.model, len(group), 1, tp),
+        )
+
+    def _submit_group(self, group: List[GenRequest]) -> None:
+        iterations = max(r.gen_tokens for r in group)
+        gid = group[0].rid
+        last_bid = None
+        for it in range(iterations):
+            batch = Batch(
+                requests=[
+                    Request(
+                        rid=r.rid, arrival=r.arrival, seq_len=1,
+                        phase=Phase.DECODE, context_len=r.context_len + it,
+                    )
+                    for r in group
+                ]
+            )
+            last_bid = batch.batch_id
+            self.strategy.submit_batch(batch)
+            self.total_tokens += len(group)
+        self._groups[last_bid] = {"members": group, "gid": gid}
+
+    def _on_batch_complete(self, batch: Batch, time: float) -> None:
+        info = self._groups.pop(batch.batch_id, None)
+        if info is None:
+            return  # an intermediate iteration
+        self.memory.release(f"group{info['gid']}")
+        for gen in info["members"]:
+            gen.tokens_done = gen.gen_tokens
+            self._finish_request(gen, time)
+        self._drain_pending_groups()
+
+
+class ContinuousBatchingServer(_GenerationServerBase):
+    """Orca-style iteration-level scheduling.
+
+    The running batch is re-formed every iteration from (a) unfinished
+    sequences and (b) queued arrivals, up to ``max_batch`` sequences.  A
+    finished sequence's slot frees immediately.  ``pipeline_depth``
+    iterations may be in flight at once (submitted before the previous
+    completes) so Liger has concurrent batches to interleave; sequence
+    state advances only on completion, keeping iterations of one sequence
+    strictly ordered by construction (an in-flight sequence is not
+    re-batched until its current iteration retires).
+    """
+
+    discipline = "continuous"
+
+    def __init__(
+        self, model, node, strategy, *, max_batch: int = 32,
+        pipeline_depth: int = 2, **kw,
+    ) -> None:
+        super().__init__(model, node, strategy, **kw)
+        if max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        if pipeline_depth < 1:
+            raise ConfigError("pipeline_depth must be >= 1")
+        self.max_batch = max_batch
+        self.pipeline_depth = pipeline_depth
+        self._queue: List[GenRequest] = []
+        self._reserved: set = set()
+        self._inflight: Dict[int, List[GenRequest]] = {}
+        self._busy: set = set()  # rids currently in an in-flight iteration
+        self._expected = 0
+        self.iterations_run = 0
+
+    def run(self, requests: Sequence[GenRequest]) -> ServingResult:
+        """Serve the generation jobs to completion; returns metrics."""
+        ordered = sorted(requests, key=lambda r: r.arrival)
+        self._expected = len(ordered)
+        for r in ordered:
+            self.engine.schedule_at(
+                r.arrival, lambda req=r: self._on_arrival(req), priority=10
+            )
+        self.machine.run()
+        return self._result(self._expected)
+
+    # ------------------------------------------------------------------
+    def _on_arrival(self, req: GenRequest) -> None:
+        self._queue.append(req)
+        self._maybe_launch_iteration()
+
+    def _try_reserve_seq(self, req: GenRequest) -> bool:
+        """Reserve a sequence's lifetime KV on first scheduling; False on OOM.
+
+        Queued sequences wait in host memory; the KV reservation happens when
+        the sequence first joins an iteration and lives until its last token.
+        """
+        from repro.errors import OutOfMemoryError
+        from repro.sim.memory import activation_bytes
+
+        if req.rid in self._reserved:
+            return True
+        tp = self.node.num_gpus
+        try:
+            self.memory.reserve(
+                f"seq{req.rid}",
+                self.model.kv_cache_bytes(1, req.context_len + req.gen_tokens, tp=tp)
+                + activation_bytes(self.model, 1, 1, tp),
+            )
+        except OutOfMemoryError:
+            if self._reserved:
+                return False  # running sequences will free memory
+            raise  # a single sequence that can never fit
+        self._reserved.add(req.rid)
+        return True
+
+    def _maybe_launch_iteration(self) -> None:
+        while len(self._inflight) < self.pipeline_depth:
+            members: List[GenRequest] = []
+            for r in self._queue:
+                if len(members) >= self.max_batch:
+                    break
+                if r.rid not in self._busy and self._try_reserve_seq(r):
+                    members.append(r)
+            if not members:
+                return
+            batch = Batch(requests=[r.as_request() for r in members])
+            self._inflight[batch.batch_id] = members
+            self._busy.update(r.rid for r in members)
+            self.iterations_run += 1
+            self.total_tokens += len(members)
+            self.strategy.submit_batch(batch)
+
+    def _on_batch_complete(self, batch: Batch, time: float) -> None:
+        members = self._inflight.pop(batch.batch_id)
+        for gen in members:
+            gen.tokens_done += 1
+            self._busy.discard(gen.rid)
+            if gen.finished:
+                self._queue.remove(gen)
+                self.memory.release(f"seq{gen.rid}")
+                self._reserved.discard(gen.rid)
+                self._finish_request(gen, time)
+        self._maybe_launch_iteration()

@@ -1,0 +1,314 @@
+"""Full request lifecycle: prefill, then token-by-token decode.
+
+The paper evaluates the two generative phases separately (general tasks
+≈ prefill, §4.2; incremental sampling, §4.3).  A production chat backend
+runs both for every request: the prompt is prefilled once (producing the KV
+cache and the first token), then the response is decoded one token per
+iteration.  This server composes the two through one parallel strategy:
+
+* arriving prompts are grouped into **prefill batches** (up to
+  ``prefill_batch`` prompts, padded to the longest);
+* prefilled requests join the **decode pool**, scheduled with Orca-style
+  continuous batching (finished responses leave their slot immediately);
+* prefill batches and decode iterations are all just batches to the
+  underlying strategy — under Liger, one request's prefill GEMMs overlap
+  other requests' decode all-reduces and vice versa, which neither §4.2 nor
+  §4.3 alone can show.
+
+Metrics: per-request **TTFT** (arrival → prefill complete, the user-visible
+first-token latency) and full completion latency; both are returned in the
+:class:`LifecycleResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.partition import check_placement
+from repro.serving.arrival import ArrivalProcess, ConstantRate
+from repro.serving.metrics import LatencyStats
+from repro.serving.request import Batch, Phase, Request
+from repro.sim.contention import ContentionModel, default_contention_for
+from repro.sim.engine import Engine
+from repro.sim.gpu import Machine
+from repro.sim.host import Host
+from repro.sim.memory import NodeMemoryModel, activation_bytes
+from repro.sim.tracing import Trace
+from repro.units import us_to_s
+
+__all__ = ["ChatRequest", "chat_workload", "LifecycleResult", "LifecycleServer"]
+
+
+@dataclass
+class ChatRequest:
+    """One end-to-end request: a prompt plus a generated response."""
+
+    rid: int
+    arrival: float
+    prompt_len: int
+    gen_tokens: int
+    prefill_done: Optional[float] = None
+    completion: Optional[float] = None
+    tokens_done: int = 0
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1 or self.gen_tokens < 1:
+            raise ConfigError(f"request {self.rid}: invalid chat job")
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token (µs): arrival → prefill completion."""
+        if self.prefill_done is None:
+            raise ConfigError(f"request {self.rid} has not prefilled")
+        return self.prefill_done - self.arrival
+
+    @property
+    def latency(self) -> float:
+        """Full latency (µs): arrival → last token."""
+        if self.completion is None:
+            raise ConfigError(f"request {self.rid} has not completed")
+        return self.completion - self.arrival
+
+    @property
+    def current_context(self) -> int:
+        return self.prompt_len + self.tokens_done
+
+    @property
+    def finished(self) -> bool:
+        return self.tokens_done >= self.gen_tokens
+
+
+def chat_workload(
+    num_requests: int,
+    rate: float,
+    *,
+    prompt_range: tuple = (16, 128),
+    gen_tokens: tuple = (4, 16),
+    seed: int = 0,
+    arrival: Optional[ArrivalProcess] = None,
+) -> List[ChatRequest]:
+    """Random chat jobs: uniform prompt and response lengths."""
+    if num_requests < 1:
+        raise ConfigError("num_requests must be >= 1")
+    p_lo, p_hi = prompt_range
+    g_lo, g_hi = gen_tokens
+    if not (1 <= p_lo <= p_hi and 1 <= g_lo <= g_hi):
+        raise ConfigError("invalid prompt/gen ranges")
+    proc = arrival or ConstantRate(rate)
+    times = proc.arrivals(num_requests)
+    rng = np.random.default_rng(seed)
+    prompts = rng.integers(p_lo, p_hi + 1, size=num_requests)
+    gens = rng.integers(g_lo, g_hi + 1, size=num_requests)
+    return [
+        ChatRequest(
+            rid=i, arrival=times[i],
+            prompt_len=int(prompts[i]), gen_tokens=int(gens[i]),
+        )
+        for i in range(num_requests)
+    ]
+
+
+@dataclass
+class LifecycleResult:
+    """Metrics of one lifecycle serving run."""
+
+    strategy: str
+    model: str
+    node: str
+    num_requests: int
+    ttft: LatencyStats
+    latency: LatencyStats
+    tokens_generated: int
+    tokens_per_second: float
+    wall_events: int
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.strategy:>8s} | {self.model} on {self.node}: "
+            f"{self.num_requests} chats, TTFT {self.ttft.mean:.1f} ms, "
+            f"full latency {self.latency.mean:.1f} ms, "
+            f"{self.tokens_per_second:,.0f} tok/s"
+        )
+
+
+class LifecycleServer:
+    """Serves full chat requests (prefill + decode) through one strategy."""
+
+    def __init__(
+        self,
+        model,
+        node,
+        strategy,
+        *,
+        prefill_batch: int = 4,
+        max_decode_batch: int = 32,
+        decode_pipeline_depth: int = 2,
+        contention: Optional[ContentionModel] = None,
+        record_trace: bool = False,
+        check_memory: bool = True,
+    ) -> None:
+        if strategy.model is not model or strategy.node is not node:
+            raise ConfigError("strategy was built for a different model/node")
+        if prefill_batch < 1 or max_decode_batch < 1 or decode_pipeline_depth < 1:
+            raise ConfigError("batching parameters must be >= 1")
+        if check_memory:
+            check_placement(model, node)
+        self.model = model
+        self.node = node
+        self.strategy = strategy
+        self.prefill_batch = prefill_batch
+        self.max_decode_batch = max_decode_batch
+        self.decode_pipeline_depth = decode_pipeline_depth
+        self.engine = Engine()
+        self.trace = Trace() if record_trace else None
+        self.machine = Machine(
+            node, self.engine,
+            contention=contention or default_contention_for(node.name),
+            trace=self.trace,
+        )
+        self.host = Host(self.machine)
+        # Sequence-granularity memory (KV lives from prefill to last token).
+        strategy.track_memory = False
+        self.memory = NodeMemoryModel(model, node)
+        strategy.bind(self.machine, self.host)
+        strategy.on_batch_complete(self._on_batch_complete)
+
+        self._prefill_queue: List[ChatRequest] = []
+        self._prefill_inflight: Dict[int, List[ChatRequest]] = {}
+        self._decode_pool: List[ChatRequest] = []
+        self._decode_inflight: Dict[int, List[ChatRequest]] = {}
+        self._decode_busy: set = set()
+        self._finished: List[ChatRequest] = []
+        self.tokens_generated = 0
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[ChatRequest]) -> LifecycleResult:
+        """Serve the chat jobs to completion and return metrics."""
+        ordered = sorted(requests, key=lambda r: r.arrival)
+        if not ordered:
+            raise ConfigError("no requests to serve")
+        for r in ordered:
+            self.engine.schedule_at(
+                r.arrival, lambda req=r: self._on_arrival(req), priority=10
+            )
+        self.machine.run()
+        if len(self._finished) != len(ordered):
+            raise ConfigError(
+                f"served {len(self._finished)} of {len(ordered)} requests"
+            )
+        first = min(r.arrival for r in self._finished)
+        last = max(r.completion for r in self._finished)  # type: ignore[type-var]
+        return LifecycleResult(
+            strategy=f"{self.strategy.name}+lifecycle",
+            model=self.model.name,
+            node=self.node.name,
+            num_requests=len(self._finished),
+            ttft=LatencyStats.from_latencies_us([r.ttft for r in self._finished]),
+            latency=LatencyStats.from_latencies_us(
+                [r.latency for r in self._finished]
+            ),
+            tokens_generated=self.tokens_generated,
+            tokens_per_second=self.tokens_generated / us_to_s(last - first),
+            wall_events=self.engine.events_processed,
+        )
+
+    # ------------------------------------------------------------------
+    # Prefill path
+    # ------------------------------------------------------------------
+    def _on_arrival(self, req: ChatRequest) -> None:
+        self._prefill_queue.append(req)
+        self._maybe_submit_prefill()
+
+    def _try_reserve_chat(self, req: ChatRequest) -> bool:
+        """Reserve KV for prompt + full response when prefill is admitted.
+
+        Queued prompts wait in host memory; on OOM the request stays queued
+        until an in-flight chat releases its reservation.
+        """
+        from repro.errors import OutOfMemoryError
+
+        tp = self.node.num_gpus
+        try:
+            self.memory.reserve(
+                f"chat{req.rid}",
+                self.model.kv_cache_bytes(
+                    1, req.prompt_len + req.gen_tokens, tp=tp
+                )
+                + activation_bytes(self.model, 1, 1, tp),
+            )
+            return True
+        except OutOfMemoryError:
+            if self._prefill_inflight or self._decode_pool:
+                return False  # running chats will free memory
+            raise  # a single chat that can never fit
+
+    def _maybe_submit_prefill(self) -> None:
+        while self._prefill_queue:
+            group: List[ChatRequest] = []
+            for req in list(self._prefill_queue[: self.prefill_batch]):
+                if not self._try_reserve_chat(req):
+                    break
+                group.append(req)
+            if not group:
+                return  # memory-blocked: retried on chat completion
+            del self._prefill_queue[: len(group)]
+            batch = Batch(
+                requests=[
+                    Request(
+                        rid=r.rid, arrival=r.arrival,
+                        seq_len=r.prompt_len, phase=Phase.PREFILL,
+                    )
+                    for r in group
+                ]
+            )
+            self._prefill_inflight[batch.batch_id] = group
+            self.strategy.submit_batch(batch)
+
+    # ------------------------------------------------------------------
+    # Decode path (continuous batching)
+    # ------------------------------------------------------------------
+    def _maybe_submit_decode(self) -> None:
+        while len(self._decode_inflight) < self.decode_pipeline_depth:
+            ready = [r for r in self._decode_pool if r.rid not in self._decode_busy]
+            if not ready:
+                return
+            members = ready[: self.max_decode_batch]
+            batch = Batch(
+                requests=[
+                    Request(
+                        rid=r.rid, arrival=r.arrival, seq_len=1,
+                        phase=Phase.DECODE, context_len=r.current_context,
+                    )
+                    for r in members
+                ]
+            )
+            self._decode_inflight[batch.batch_id] = members
+            self._decode_busy.update(r.rid for r in members)
+            self.strategy.submit_batch(batch)
+
+    # ------------------------------------------------------------------
+    def _on_batch_complete(self, batch: Batch, time: float) -> None:
+        if batch.batch_id in self._prefill_inflight:
+            group = self._prefill_inflight.pop(batch.batch_id)
+            for req in group:
+                req.prefill_done = time
+                self._decode_pool.append(req)
+            self._maybe_submit_decode()
+            return
+        members = self._decode_inflight.pop(batch.batch_id)
+        for req in members:
+            req.tokens_done += 1
+            self.tokens_generated += 1
+            self._decode_busy.discard(req.rid)
+            if req.finished:
+                req.completion = time
+                self._decode_pool.remove(req)
+                self.memory.release(f"chat{req.rid}")
+                self._finished.append(req)
+        self._maybe_submit_decode()
+        self._maybe_submit_prefill()  # freed memory may unblock prompts

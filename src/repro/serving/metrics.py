@@ -1,0 +1,93 @@
+"""Serving metrics: latency and throughput, as the paper defines them (§4.1).
+
+* **Latency**: per request, "the time interval between a job's arrival to
+  its completion", i.e. pending time (queueing + batching) plus execution.
+* **Throughput**: "the number of requests a system can handle within a given
+  time" — completed requests divided by the span from first arrival to last
+  completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.serving.request import Request
+from repro.units import us_to_s
+
+__all__ = ["LatencyStats", "ServingMetrics"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics over request latencies (all in milliseconds)."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def from_latencies_us(latencies: Sequence[float]) -> "LatencyStats":
+        if not len(latencies):
+            raise ConfigError("no latencies to summarize")
+        arr = np.asarray(latencies, dtype=float) / 1e3  # µs → ms
+        return LatencyStats(
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            max=float(arr.max()),
+        )
+
+
+@dataclass
+class ServingMetrics:
+    """Accumulates completed requests and derives the paper's two metrics."""
+
+    completed: List[Request] = field(default_factory=list)
+
+    def record(self, requests: Sequence[Request]) -> None:
+        """Add completed requests to the tally (must carry completions)."""
+        for r in requests:
+            if r.completion is None:
+                raise ConfigError(f"request {r.rid} recorded without completion")
+            self.completed.append(r)
+
+    @property
+    def num_completed(self) -> int:
+        return len(self.completed)
+
+    def latency_stats(self) -> LatencyStats:
+        """Latency summary in milliseconds."""
+        return LatencyStats.from_latencies_us([r.latency for r in self.completed])
+
+    @property
+    def avg_latency_ms(self) -> float:
+        """The paper's headline 'average latency'."""
+        return self.latency_stats().mean
+
+    def throughput(self) -> float:
+        """Requests per second over the serving span."""
+        if not self.completed:
+            return 0.0
+        first_arrival = min(r.arrival for r in self.completed)
+        last_completion = max(r.completion for r in self.completed)  # type: ignore[arg-type]
+        span = us_to_s(last_completion - first_arrival)
+        if span <= 0:
+            raise ConfigError("degenerate serving span")
+        return len(self.completed) / span
+
+    def pending_time_ms(self) -> float:
+        """Mean pending time (arrival → batch start isn't visible here, so
+        this reports latency minus the *minimum* observed latency as a rough
+        queueing indicator; exact pending time lives in the trace)."""
+        lats = [r.latency for r in self.completed]
+        if not lats:
+            return 0.0
+        floor = min(lats)
+        return float(np.mean([l - floor for l in lats])) / 1e3

@@ -1,0 +1,106 @@
+"""Requests and batches — the serving system's unit of work.
+
+The paper's serving front-end "receives requests and packs them as a batch"
+before handing the batch to the runtime (Fig. 5).  A :class:`Request` is one
+user job; a :class:`Batch` is the runtime's scheduling unit.  Latency is
+measured per *request*, from its own arrival (not the batch's) to batch
+completion, so batching delay is charged as pending time exactly as the
+paper defines latency ("the pending time and the cuda execution time").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["Phase", "Request", "Batch"]
+
+_batch_ids = itertools.count()
+
+
+class Phase(enum.Enum):
+    """Which execution phase of a generative model a batch exercises (§4.3)."""
+
+    PREFILL = "prefill"    # initial conditioning: full-sequence forward
+    DECODE = "decode"      # incremental sampling: one token per request
+
+
+@dataclass
+class Request:
+    """One inference job."""
+
+    rid: int
+    arrival: float           # µs
+    seq_len: int
+    phase: Phase = Phase.PREFILL
+    context_len: int = 0     # KV context for DECODE requests
+    completion: Optional[float] = None
+    #: Stamped by the Batch that adopts this request (−1 until batched);
+    #: lets post-run analysis join request metrics with trace rows.
+    batch_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.seq_len < 1:
+            raise ConfigError(f"request {self.rid}: seq_len must be >= 1")
+        if self.arrival < 0:
+            raise ConfigError(f"request {self.rid}: negative arrival time")
+
+    @property
+    def latency(self) -> float:
+        """Arrival→completion (µs); raises if not yet complete."""
+        if self.completion is None:
+            raise ConfigError(f"request {self.rid} has not completed")
+        return self.completion - self.arrival
+
+
+@dataclass
+class Batch:
+    """A group of requests processed together by the runtime.
+
+    ``seq_len`` is the padded sequence length (max over members), which is
+    what every kernel in the batch actually runs at.
+    """
+
+    requests: List[Request]
+    batch_id: int = field(default_factory=lambda: next(_batch_ids))
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ConfigError("a batch needs at least one request")
+        phases = {r.phase for r in self.requests}
+        if len(phases) != 1:
+            raise ConfigError("a batch cannot mix prefill and decode requests")
+        for r in self.requests:
+            r.batch_id = self.batch_id
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def phase(self) -> Phase:
+        return self.requests[0].phase
+
+    @property
+    def seq_len(self) -> int:
+        """Padded sequence length."""
+        return max(r.seq_len for r in self.requests)
+
+    @property
+    def context_len(self) -> int:
+        """Padded KV context (DECODE batches)."""
+        return max(r.context_len for r in self.requests)
+
+    @property
+    def arrival(self) -> float:
+        """The batch is formed when its last member arrives."""
+        return max(r.arrival for r in self.requests)
+
+    def complete(self, time: float) -> None:
+        """Stamp every member request complete at ``time``."""
+        for r in self.requests:
+            r.completion = time

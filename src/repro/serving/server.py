@@ -1,0 +1,132 @@
+"""The serving loop: arrivals → strategy → metrics.
+
+The :class:`Server` owns the simulation clock.  It schedules one engine
+callback per batch at that batch's arrival time (the moment the serving
+front-end hands the packed batch to the runtime, Fig. 5), lets the bound
+strategy turn it into kernels, and records request completions as batches
+drain.  The result bundles the paper's two metrics plus the execution trace
+for overlap analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.hw.devices import NodeSpec
+from repro.models.partition import check_placement
+from repro.models.specs import ModelSpec
+from repro.serving.metrics import LatencyStats, ServingMetrics
+
+if TYPE_CHECKING:  # avoid a circular import; the server only type-hints it
+    from repro.parallel.base import ParallelStrategy
+from repro.serving.request import Batch
+from repro.sim.contention import ContentionModel, default_contention_for
+from repro.sim.engine import Engine
+from repro.sim.gpu import Machine
+from repro.sim.host import Host
+from repro.sim.tracing import Trace
+
+__all__ = ["Server", "ServingResult"]
+
+
+@dataclass
+class ServingResult:
+    """Outcome of one serving run."""
+
+    strategy: str
+    model: str
+    node: str
+    num_requests: int
+    metrics: ServingMetrics
+    trace: Optional[Trace] = None
+    wall_events: int = 0
+
+    @property
+    def avg_latency_ms(self) -> float:
+        return self.metrics.avg_latency_ms
+
+    @property
+    def throughput(self) -> float:
+        return self.metrics.throughput()
+
+    def latency_stats(self) -> LatencyStats:
+        """Latency percentile summary (milliseconds)."""
+        return self.metrics.latency_stats()
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        stats = self.latency_stats()
+        return (
+            f"{self.strategy:>8s} | {self.model} on {self.node}: "
+            f"{self.num_requests} reqs, avg latency {stats.mean:.1f} ms "
+            f"(p99 {stats.p99:.1f} ms), throughput {self.throughput:.2f} req/s"
+        )
+
+
+class Server:
+    """Drives one strategy over one workload on a simulated node."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        node: NodeSpec,
+        strategy: ParallelStrategy,
+        *,
+        contention: Optional[ContentionModel] = None,
+        record_trace: bool = True,
+        check_memory: bool = True,
+    ) -> None:
+        if strategy.model is not model or strategy.node is not node:
+            raise ConfigError("strategy was built for a different model/node")
+        if check_memory:
+            check_placement(model, node)
+        self.model = model
+        self.node = node
+        self.strategy = strategy
+        self.engine = Engine()
+        self.trace = Trace() if record_trace else None
+        self.machine = Machine(
+            node,
+            self.engine,
+            contention=contention or default_contention_for(node.name),
+            trace=self.trace,
+        )
+        self.host = Host(self.machine)
+        self.metrics = ServingMetrics()
+        strategy.bind(self.machine, self.host)
+        strategy.on_batch_complete(self._on_batch_complete)
+
+    # ------------------------------------------------------------------
+    def _on_batch_complete(self, batch: Batch, time: float) -> None:
+        batch.complete(time)
+        self.metrics.record(batch.requests)
+
+    def run(self, batches: Sequence[Batch]) -> ServingResult:
+        """Serve ``batches`` to completion and return metrics."""
+        if not batches:
+            raise ConfigError("no batches to serve")
+        ordered: List[Batch] = sorted(batches, key=lambda b: b.arrival)
+        for batch in ordered:
+            self.engine.schedule_at(
+                batch.arrival,
+                lambda b=batch: self.strategy.submit_batch(b),
+                priority=10,  # arrivals fire after same-time device events
+            )
+        self.machine.run()
+        expected = sum(b.size for b in ordered)
+        if self.metrics.num_completed != expected:
+            raise ConfigError(
+                f"served {self.metrics.num_completed} of {expected} requests — "
+                "a batch never completed"
+            )
+        return ServingResult(
+            strategy=self.strategy.name,
+            model=self.model.name,
+            node=self.node.name,
+            num_requests=expected,
+            metrics=self.metrics,
+            trace=self.trace,
+            wall_events=self.engine.events_processed,
+        )

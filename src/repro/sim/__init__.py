@@ -1,0 +1,48 @@
+"""The multi-GPU hardware simulator (CUDA/NCCL substitute).
+
+This package replaces the GPUs, CUDA runtime, and NCCL of the paper's
+testbeds with a deterministic discrete-event model that preserves the
+behaviours Liger's scheduling depends on: in-order streams with asynchronous
+host launch, CUDA-event synchronization (inter-stream and CPU-GPU), the
+left-over kernel admission policy, emergent compute/communication contention,
+and rendezvous collectives.  See DESIGN.md §5 for the semantics contract.
+"""
+
+from repro.sim.contention import (
+    ContentionModel,
+    DefaultContention,
+    NullContention,
+    default_contention_for,
+)
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.events import CudaEvent
+from repro.sim.gpu import Gpu, Machine
+from repro.sim.host import Host
+from repro.sim.interconnect import CollectiveCostModel, NcclConfig
+from repro.sim.kernel import CollectiveKind, CollectiveOp, Kernel, KernelKind
+from repro.sim.stream import Command, CommandKind, Stream
+from repro.sim.tracing import Trace, TraceRow
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "CudaEvent",
+    "Gpu",
+    "Machine",
+    "Host",
+    "CollectiveCostModel",
+    "NcclConfig",
+    "CollectiveKind",
+    "CollectiveOp",
+    "Kernel",
+    "KernelKind",
+    "Command",
+    "CommandKind",
+    "Stream",
+    "Trace",
+    "TraceRow",
+    "ContentionModel",
+    "DefaultContention",
+    "NullContention",
+    "default_contention_for",
+]

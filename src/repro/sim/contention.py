@@ -1,0 +1,145 @@
+"""Hardware resource contention between concurrently-resident kernels.
+
+§2.3.2 of the paper identifies two interference channels when computation and
+communication kernels overlap on one GPU:
+
+* **Compute:** collective kernels occupy SMs for reduction arithmetic and
+  network driving, so co-running compute-intensive kernels slow each other.
+* **Memory bandwidth:** both kernel classes stream through HBM; when the
+  summed demand exceeds the device bandwidth, everybody stretches.
+
+We model this with a pluggable :class:`ContentionModel`: given the set of
+kernels resident on one device, it returns a *slowdown* ≥ 1 per kernel.  The
+machine integrates kernel progress piecewise — whenever the resident set
+changes, elapsed progress is banked at the old rates and new slowdowns are
+computed — so contention is *emergent*: Liger's offline contention-factor
+profiling (§3.5) measures these effects the same way the authors measured
+theirs, rather than reading back a constant we injected.
+
+The default coefficients are phenomenological, calibrated so the profiled
+factors land near the paper's (≈1.10 on the V100 node, ≈1.15 on the A100
+node) and so same-type concurrency contends much harder than mixed-type
+overlap — the failure mode Liger's Principle 1 exists to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.errors import ConfigError
+from repro.sim.kernel import Kernel
+
+__all__ = ["ContentionModel", "NullContention", "DefaultContention", "default_contention_for"]
+
+
+class ContentionModel:
+    """Interface: map a device's resident kernel set to per-kernel slowdowns."""
+
+    def slowdowns(self, resident: Iterable[Kernel]) -> Dict[int, float]:
+        """Return ``{kernel.uid: slowdown}`` for every resident kernel.
+
+        Slowdowns must be ≥ 1.  A kernel running alone must get exactly 1.0
+        (profiled no-load durations are definitions, not approximations).
+        """
+        raise NotImplementedError
+
+
+class NullContention(ContentionModel):
+    """No interference: every kernel always runs at its no-load duration.
+
+    Used by unit tests and by the ``no-contention`` ablation, where Liger's
+    contention factors should profile to exactly 1.0.
+    """
+
+    def slowdowns(self, resident: Iterable[Kernel]) -> Dict[int, float]:
+        return {k.uid: 1.0 for k in resident}
+
+
+@dataclass
+class DefaultContention(ContentionModel):
+    """The calibrated interference model.
+
+    Parameters
+    ----------
+    comm_on_compute:
+        How strongly a resident COMM kernel slows compute kernels, per unit
+        of the COMM kernel's SM occupancy.  NCCL rings with default channel
+        counts occupy real SMs; shrinking channels (the §3.5 mitigation)
+        shrinks ``occupancy`` and therefore this penalty, with no change to
+        the model itself.
+    compute_on_comm:
+        How strongly resident compute occupancy slows a COMM kernel.  Higher
+        on PCIe nodes, where the collective is latency-sensitive and loses
+        more when its proxy/reduction blocks are descheduled.
+    same_kind_compute:
+        Mutual penalty between co-resident compute kernels (severe — the
+        paper calls concurrent GEMMs "severely impeding each other").
+    same_kind_comm:
+        Mutual penalty between co-resident collectives (they share links).
+    memory_pressure:
+        Weight of the shared-HBM term: when the summed ``memory_intensity``
+        of residents exceeds 1.0, everyone stretches proportionally.
+    """
+
+    comm_on_compute: float = 0.45
+    compute_on_comm: float = 0.10
+    same_kind_compute: float = 0.85
+    same_kind_comm: float = 0.60
+    memory_pressure: float = 0.35
+
+    def __post_init__(self) -> None:
+        for name in (
+            "comm_on_compute",
+            "compute_on_comm",
+            "same_kind_compute",
+            "same_kind_comm",
+            "memory_pressure",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"contention coefficient {name} must be >= 0")
+
+    def slowdowns(self, resident: Iterable[Kernel]) -> Dict[int, float]:
+        kernels = list(resident)
+        if len(kernels) <= 1:
+            return {k.uid: 1.0 for k in kernels}
+
+        total_mem = sum(k.memory_intensity for k in kernels)
+        mem_overcommit = max(0.0, total_mem - 1.0)
+
+        out: Dict[int, float] = {}
+        for k in kernels:
+            others = [o for o in kernels if o.uid != k.uid]
+            slow = 1.0
+            if k.kind.is_comm:
+                compute_occ = sum(
+                    o.occupancy for o in others if o.kind.is_compute_like
+                )
+                slow += self.compute_on_comm * compute_occ
+                slow += self.same_kind_comm * sum(
+                    1.0 for o in others if o.kind.is_comm
+                )
+            else:
+                comm_occ = sum(o.occupancy for o in others if o.kind.is_comm)
+                slow += self.comm_on_compute * comm_occ
+                slow += self.same_kind_compute * sum(
+                    o.occupancy for o in others if o.kind.is_compute_like
+                )
+            # Shared HBM pressure applies to everyone, scaled by how much of
+            # the bandwidth the kernel itself needs.
+            slow += self.memory_pressure * mem_overcommit * k.memory_intensity
+            out[k.uid] = slow
+        return out
+
+
+def default_contention_for(node_name: str) -> DefaultContention:
+    """Calibrated coefficients per testbed.
+
+    The A100-PCIe node profiles to a *larger* contention factor than the
+    V100-NVLink node in the paper (1.15 vs 1.10) despite having more compute,
+    because its PCIe collectives are more sensitive to losing SM timeslices;
+    we reflect that with a higher ``compute_on_comm``.
+    """
+    if "a100" in node_name.lower():
+        return DefaultContention(compute_on_comm=0.155, comm_on_compute=0.50)
+    return DefaultContention()

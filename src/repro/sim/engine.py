@@ -1,0 +1,185 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, deterministic event loop: a binary heap of
+``(time, priority, sequence, callback)`` tuples.  Determinism matters more
+than generality here — the Liger scheduler's behaviour depends on exact
+kernel orderings, and the test suite asserts reproducible timelines — so ties
+are broken first by an explicit priority and then by insertion order, and the
+engine contains no randomness and no wall-clock access.
+
+Events can be cancelled (kernel-completion events are rescheduled every time
+the running set on a GPU changes); cancellation is O(1) by tombstoning the
+handle rather than re-heapifying.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Engine", "EventHandle"]
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    priority: int
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled callback; call :meth:`cancel` to prevent it from firing."""
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; safe after firing."""
+        self.cancelled = True
+        self.callback = None
+
+
+class Engine:
+    """The event loop.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time in microseconds.  Monotonically non-decreasing.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` µs from now.
+
+        ``priority`` breaks ties among events at the same timestamp (lower
+        fires first); insertion order breaks remaining ties.
+        """
+        if not math.isfinite(delay) or delay < 0:
+            raise SimulationError(f"cannot schedule event {delay} us in the past")
+        return self.schedule_at(self.now + delay, callback, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time`` (µs)."""
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite event time: {time}")
+        if time < self.now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self.now}"
+            )
+        handle = EventHandle(max(time, self.now), callback)
+        entry = _HeapEntry(handle.time, priority, next(self._seq), handle)
+        heapq.heappush(self._heap, entry)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: int = 200_000_000) -> float:
+        """Drain the event queue; return the final simulation time.
+
+        Parameters
+        ----------
+        until:
+            Stop (without executing) at the first event strictly after this
+            time.  ``None`` runs to quiescence.
+        max_events:
+            Safety valve against runaway feedback loops in user callbacks.
+        """
+        if self._running:
+            raise SimulationError("Engine.run is not reentrant")
+        self._running = True
+        try:
+            processed = 0
+            while self._heap:
+                entry = self._heap[0]
+                handle = entry.handle
+                if handle.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self.now = entry.time
+                callback = handle.callback
+                handle.cancel()  # mark consumed so late cancels are harmless
+                if callback is not None:
+                    callback()
+                processed += 1
+                self._events_processed += 1
+                if processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely a feedback loop in a callback"
+                    )
+            if until is not None and until > self.now:
+                self.now = until
+            return self.now
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False when idle."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self.now = entry.time
+            callback = handle.callback
+            handle.cancel()
+            if callback is not None:
+                callback()
+            self._events_processed += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.handle.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed since construction."""
+        return self._events_processed
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None when idle."""
+        while self._heap and self._heap[0].handle.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,507 @@
+"""The multi-GPU machine: command pumping, admission, progress integration.
+
+This module is the behavioural core of the hardware substitute.  It executes
+stream commands with the semantics the paper's scheduling contribution
+depends on:
+
+* **In-order streams** — a stream runs one kernel at a time, in FIFO order,
+  and a command is only visible to the device once the host has launched it
+  (``Command.available_at``).
+* **Left-over admission policy** (§2.3.1) — a kernel at the head of its
+  stream becomes *ready*; ready kernels are admitted onto the device only
+  while the sum of resident SM occupancies stays ≤ 1.  Among kernels ready at
+  the same instant, computation kernels are admitted before communication
+  kernels regardless of stream priority — reproducing the paper's observation
+  that high-priority streams do not prevent communication-kernel execution
+  lag.
+* **Emergent contention** — kernel progress is integrated piecewise: whenever
+  any device's resident set changes, elapsed progress is banked at the old
+  rates and per-kernel slowdowns are recomputed from the
+  :class:`~repro.sim.contention.ContentionModel`.
+* **Collective rendezvous** — a collective's member kernels occupy SMs from
+  the moment they are admitted (NCCL kernels spin while waiting for peers),
+  but the operation makes progress only once *every* rank has admitted its
+  member, at the rate of the most-contended member, and all members finish at
+  the same instant.
+
+One :class:`Machine` owns all GPUs of a node so that cross-device state
+(collectives, the single completion timer) has a single coordinator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError, DeadlockError, SimulationError
+from repro.hw.devices import NodeSpec
+from repro.sim.contention import ContentionModel, DefaultContention
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.events import CudaEvent
+from repro.sim.kernel import CollectiveOp, Kernel
+from repro.sim.stream import Command, CommandKind, Stream
+from repro.sim.tracing import Trace
+
+__all__ = ["Machine", "Gpu"]
+
+_EPS = 1e-6
+_ready_seq = itertools.count()
+
+
+@dataclass
+class _RunState:
+    """A kernel that is ready or resident on a device."""
+
+    kernel: Kernel
+    gpu_id: int
+    stream: Stream
+    ready_seq: int = field(default_factory=lambda: next(_ready_seq))
+    ready_at: float = 0.0
+    start_at: float = -1.0
+    remaining: float = 0.0
+    slowdown: float = 1.0
+    # Accumulated (stretched-time, no-load-time) for average-slowdown stats.
+    stretched: float = 0.0
+
+
+@dataclass
+class _CollectiveRun:
+    """Shared progress state of an in-flight collective."""
+
+    op: CollectiveOp
+    members: Dict[int, _RunState] = field(default_factory=dict)
+    started_at: float = -1.0
+    remaining: float = 0.0
+    slowdown: float = 1.0
+    stretched: float = 0.0
+
+    @property
+    def started(self) -> bool:
+        return self.started_at >= 0.0
+
+
+class Gpu:
+    """Per-device state: streams, ready set, resident set."""
+
+    def __init__(self, gpu_id: int, machine: "Machine") -> None:
+        self.gpu_id = gpu_id
+        self.machine = machine
+        self.streams: List[Stream] = []
+        self.ready: List[_RunState] = []
+        self.resident: Dict[int, _RunState] = {}
+        self.used_occupancy = 0.0
+
+    def stream(self, name: str, priority: int = 0) -> Stream:
+        """Get-or-create the stream named ``name`` on this device.
+
+        Idempotent by name: repeated calls return the same stream (asking
+        for a different priority on an existing name is a config error) —
+        creating a fresh stream per call is the kind of silent concurrency
+        bug no caller ever wants.
+        """
+        for s in self.streams:
+            if s.name == name:
+                if s.priority != priority:
+                    raise ConfigError(
+                        f"stream {name!r} on GPU {self.gpu_id} already exists "
+                        f"with priority {s.priority}, requested {priority}"
+                    )
+                return s
+        s = Stream(self.gpu_id, name, priority)
+        self.streams.append(s)
+        return s
+
+    def resident_kernels(self) -> List[Kernel]:
+        """Kernels currently occupying this device."""
+        return [rs.kernel for rs in self.resident.values()]
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.resident) or bool(self.ready)
+
+    def all_idle(self) -> bool:
+        """True when nothing is resident, ready, or queued on any stream."""
+        return not self.busy and all(s.idle for s in self.streams)
+
+
+class Machine:
+    """A simulated multi-GPU node executing stream commands.
+
+    Parameters
+    ----------
+    node:
+        Hardware description (GPU specs + topology).
+    engine:
+        Shared event loop.  One engine may drive several machines in
+        principle; the serving layer uses one machine per node.
+    contention:
+        Interference model; defaults to the calibrated
+        :class:`~repro.sim.contention.DefaultContention`.
+    trace:
+        Optional timeline recorder.
+    """
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        engine: Optional[Engine] = None,
+        *,
+        contention: Optional[ContentionModel] = None,
+        trace: Optional[Trace] = None,
+        max_connections: int = 2,
+        connection_contention_delay: float = 3.0,
+    ) -> None:
+        if max_connections < 1:
+            raise ConfigError("max_connections must be >= 1")
+        if connection_contention_delay < 0:
+            raise ConfigError("connection_contention_delay must be >= 0")
+        self.node = node
+        self.engine = engine or Engine()
+        self.contention = contention or DefaultContention()
+        self.trace = trace
+        #: Models CUDA_DEVICE_MAX_CONNECTIONS (the paper's artifact sets 2):
+        #: the host↔GPU command channels are limited, so when more than this
+        #: many streams on one device hold pending work, the extra streams'
+        #: commands reach the device late.  Hard blocking would risk
+        #: artificial deadlocks our event model cannot resolve, so the limit
+        #: is soft: each over-subscribed stream pays a per-command
+        #: visibility delay (µs).
+        self.max_connections = max_connections
+        self.connection_contention_delay = connection_contention_delay
+        self.gpus: List[Gpu] = [Gpu(i, self) for i in range(node.num_gpus)]
+        self._collectives: Dict[int, _CollectiveRun] = {}
+        self._last_bank_time = 0.0
+        self._completion_timer: Optional[EventHandle] = None
+        self._pump_scheduled: Dict[int, bool] = {}
+        self.kernels_completed = 0
+        # Observers notified with each completed kernel (serving layer hooks).
+        self._completion_observers: List[Callable[[Kernel, float], None]] = []
+
+    # ------------------------------------------------------------------
+    # Topology / construction helpers
+    # ------------------------------------------------------------------
+    def gpu(self, gpu_id: int) -> Gpu:
+        """The per-device state object for ``gpu_id``."""
+        if not 0 <= gpu_id < len(self.gpus):
+            raise ConfigError(f"no GPU {gpu_id} on node {self.node.name}")
+        return self.gpus[gpu_id]
+
+    def on_kernel_complete(self, fn: Callable[[Kernel, float], None]) -> None:
+        """Register an observer called as ``fn(kernel, end_time)``."""
+        self._completion_observers.append(fn)
+
+    # ------------------------------------------------------------------
+    # Command submission (host side)
+    # ------------------------------------------------------------------
+    def submit(self, stream: Stream, command: Command) -> None:
+        """Enqueue a command; schedules a pump for when it becomes available.
+
+        When the device already has ``max_connections`` busier streams, the
+        command additionally pays the connection-contention delay before the
+        device sees it (soft CUDA_DEVICE_MAX_CONNECTIONS model).
+        """
+        gpu = self.gpus[stream.gpu_id]
+        busy = [s for s in gpu.streams if not s.idle or s is stream]
+        if stream in busy and busy.index(stream) >= self.max_connections:
+            command.available_at += self.connection_contention_delay
+        stream.enqueue(command)
+        delay = max(0.0, command.available_at - self.engine.now)
+        self._schedule_pump(stream.gpu_id, delay)
+
+    def launch(self, stream: Stream, kernel: Kernel, available_at: float) -> None:
+        """Convenience: submit a LAUNCH command."""
+        self.submit(
+            stream,
+            Command(CommandKind.LAUNCH, available_at=available_at, kernel=kernel),
+        )
+
+    def record_event(self, stream: Stream, event: CudaEvent, available_at: float) -> None:
+        """Convenience: submit a RECORD_EVENT command."""
+        self.submit(
+            stream,
+            Command(CommandKind.RECORD_EVENT, available_at=available_at, event=event),
+        )
+
+    def wait_event(self, stream: Stream, event: CudaEvent, available_at: float) -> None:
+        """Convenience: submit a WAIT_EVENT command."""
+        self.submit(
+            stream,
+            Command(CommandKind.WAIT_EVENT, available_at=available_at, event=event),
+        )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, *, check_quiescent: bool = True) -> float:
+        """Drive the engine; verify no stranded work unless ``until`` given."""
+        end = self.engine.run(until=until)
+        if check_quiescent and until is None:
+            stuck = [
+                repr(s)
+                for g in self.gpus
+                for s in g.streams
+                if not s.idle
+            ]
+            stuck += [
+                f"ready:{rs.kernel.name}" for g in self.gpus for rs in g.ready
+            ]
+            if stuck:
+                raise DeadlockError(
+                    "simulation quiesced with pending work: " + "; ".join(stuck[:8])
+                )
+        return end
+
+    # ------------------------------------------------------------------
+    # Pumping: advance stream heads into the ready set
+    # ------------------------------------------------------------------
+    def _schedule_pump(self, gpu_id: int, delay: float = 0.0) -> None:
+        # Collapse same-time pumps: one outstanding zero-delay pump per GPU.
+        if delay <= _EPS:
+            if self._pump_scheduled.get(gpu_id):
+                return
+            self._pump_scheduled[gpu_id] = True
+            self.engine.schedule(0.0, lambda: self._run_pump(gpu_id), priority=5)
+        else:
+            self.engine.schedule(delay, lambda: self._run_pump(gpu_id), priority=5)
+
+    def _run_pump(self, gpu_id: int) -> None:
+        self._pump_scheduled[gpu_id] = False
+        self._pump(self.gpus[gpu_id])
+
+    def _pump(self, gpu: Gpu) -> None:
+        """Advance every stream on ``gpu`` as far as dependencies allow."""
+        now = self.engine.now
+        progressed = True
+        became_ready = False
+        while progressed:
+            progressed = False
+            for stream in gpu.streams:
+                if stream.running_kernel is not None:
+                    continue
+                if stream.blocked_on_event is not None:
+                    if stream.blocked_on_event.is_recorded:
+                        stream.blocked_on_event = None
+                    else:
+                        continue
+                cmd = stream.head()
+                if cmd is None:
+                    continue
+                if cmd.available_at > now + _EPS:
+                    continue  # pump already scheduled at availability time
+                if cmd.kind is CommandKind.WAIT_EVENT:
+                    stream.pop_head()
+                    event = cmd.event
+                    assert event is not None
+                    if event.is_recorded:
+                        progressed = True
+                    else:
+                        stream.blocked_on_event = event
+                        event.add_stream_waiter(
+                            lambda gid=gpu.gpu_id: self._schedule_pump(gid)
+                        )
+                elif cmd.kind is CommandKind.RECORD_EVENT:
+                    stream.pop_head()
+                    assert cmd.event is not None
+                    cmd.event.record(now, self._deferred)
+                    progressed = True
+                elif cmd.kind is CommandKind.LAUNCH:
+                    stream.pop_head()
+                    kernel = cmd.kernel
+                    assert kernel is not None
+                    stream.running_kernel = kernel
+                    gpu.ready.append(
+                        _RunState(
+                            kernel=kernel,
+                            gpu_id=gpu.gpu_id,
+                            stream=stream,
+                            ready_at=now,
+                        )
+                    )
+                    became_ready = True
+                    progressed = True
+        if became_ready or gpu.ready:
+            self._try_admit(gpu)
+
+    def _deferred(self, delay: float, callback: Callable[[], None]) -> None:
+        """Deferred-call hook handed to CudaEvent.record."""
+        self.engine.schedule(delay, callback, priority=4)
+
+    # ------------------------------------------------------------------
+    # Admission: the left-over policy
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _admission_key(rs: _RunState):
+        # Earlier-ready first; at the same instant compute-like kernels are
+        # admitted before communication kernels (the GPU's left-over policy
+        # favours computation regardless of stream priority); then stream
+        # priority, then launch order.
+        return (
+            rs.ready_at,
+            0 if rs.kernel.kind.is_compute_like else 1,
+            -rs.stream.priority,
+            rs.ready_seq,
+        )
+
+    def _try_admit(self, gpu: Gpu) -> None:
+        if not gpu.ready:
+            return
+        self._bank_progress()
+        admitted_any = False
+        gpu.ready.sort(key=self._admission_key)
+        still_ready: List[_RunState] = []
+        for rs in gpu.ready:
+            if gpu.used_occupancy + rs.kernel.occupancy <= 1.0 + _EPS:
+                self._admit(gpu, rs)
+                admitted_any = True
+            else:
+                still_ready.append(rs)
+        gpu.ready = still_ready
+        if admitted_any:
+            self._reschedule()
+
+    def _admit(self, gpu: Gpu, rs: _RunState) -> None:
+        now = self.engine.now
+        rs.start_at = now
+        # Stamped for completion observers that want measured durations
+        # (e.g. online contention estimation) without a full trace.
+        rs.kernel.meta["_started_at"] = now
+        rs.remaining = rs.kernel.duration
+        gpu.resident[rs.kernel.uid] = rs
+        gpu.used_occupancy += rs.kernel.occupancy
+        coll = rs.kernel.collective
+        if coll is not None:
+            crun = self._collectives.get(coll.uid)
+            if crun is None:
+                crun = _CollectiveRun(op=coll, remaining=coll.duration)
+                self._collectives[coll.uid] = crun
+            if gpu.gpu_id in crun.members:
+                raise SimulationError(
+                    f"collective {coll.name}: duplicate member on GPU {gpu.gpu_id}"
+                )
+            crun.members[gpu.gpu_id] = rs
+            if set(crun.members) == set(coll.participants):
+                crun.started_at = now
+
+    # ------------------------------------------------------------------
+    # Progress integration
+    # ------------------------------------------------------------------
+    def _active_items(self):
+        """(local runs, started collective runs) currently making progress."""
+        locals_: List[_RunState] = []
+        for gpu in self.gpus:
+            for rs in gpu.resident.values():
+                if rs.kernel.collective is None:
+                    locals_.append(rs)
+        colls = [c for c in self._collectives.values() if c.started]
+        return locals_, colls
+
+    def _bank_progress(self) -> None:
+        """Integrate elapsed progress at the current slowdowns."""
+        now = self.engine.now
+        dt = now - self._last_bank_time
+        if dt <= _EPS:
+            self._last_bank_time = now
+            return
+        locals_, colls = self._active_items()
+        for rs in locals_:
+            rs.remaining = max(0.0, rs.remaining - dt / rs.slowdown)
+            rs.stretched += dt
+        for crun in colls:
+            crun.remaining = max(0.0, crun.remaining - dt / crun.slowdown)
+            crun.stretched += dt
+        self._last_bank_time = now
+
+    def _recompute_slowdowns(self) -> None:
+        per_kernel: Dict[int, float] = {}
+        for gpu in self.gpus:
+            if gpu.resident:
+                per_kernel.update(self.contention.slowdowns(gpu.resident_kernels()))
+        locals_, colls = self._active_items()
+        # Clamp: a contention model may never accelerate kernels (< 1.0
+        # would break work conservation) — defend against custom models.
+        for rs in locals_:
+            rs.slowdown = max(1.0, per_kernel.get(rs.kernel.uid, 1.0))
+        for crun in colls:
+            member_slow = [
+                max(1.0, per_kernel.get(rs.kernel.uid, 1.0))
+                for rs in crun.members.values()
+            ]
+            crun.slowdown = max(member_slow) if member_slow else 1.0
+
+    def _reschedule(self) -> None:
+        """Recompute rates and (re)arm the single completion timer."""
+        self._recompute_slowdowns()
+        locals_, colls = self._active_items()
+        next_dt: Optional[float] = None
+        for rs in locals_:
+            dt = rs.remaining * rs.slowdown
+            next_dt = dt if next_dt is None else min(next_dt, dt)
+        for crun in colls:
+            dt = crun.remaining * crun.slowdown
+            next_dt = dt if next_dt is None else min(next_dt, dt)
+        if self._completion_timer is not None:
+            self._completion_timer.cancel()
+            self._completion_timer = None
+        if next_dt is not None:
+            self._completion_timer = self.engine.schedule(
+                max(0.0, next_dt), self._on_completion_timer, priority=1
+            )
+
+    def _on_completion_timer(self) -> None:
+        self._completion_timer = None
+        self._bank_progress()
+        now = self.engine.now
+        touched: set = set()
+
+        locals_, colls = self._active_items()
+        for rs in list(locals_):
+            if rs.remaining <= _EPS:
+                self._complete_local(rs, now)
+                touched.add(rs.gpu_id)
+        for crun in list(colls):
+            if crun.remaining <= _EPS:
+                self._complete_collective(crun, now)
+                touched.update(crun.members.keys())
+
+        for gpu_id in touched:
+            self._pump(self.gpus[gpu_id])
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _release(self, rs: _RunState) -> None:
+        gpu = self.gpus[rs.gpu_id]
+        del gpu.resident[rs.kernel.uid]
+        gpu.used_occupancy = max(0.0, gpu.used_occupancy - rs.kernel.occupancy)
+        if rs.stream.running_kernel is rs.kernel:
+            rs.stream.running_kernel = None
+
+    def _complete_local(self, rs: _RunState, now: float) -> None:
+        self._release(rs)
+        self.kernels_completed += 1
+        if self.trace is not None:
+            self.trace.record_kernel(rs, end=now)
+        for fn in self._completion_observers:
+            fn(rs.kernel, now)
+
+    def _complete_collective(self, crun: _CollectiveRun, now: float) -> None:
+        del self._collectives[crun.op.uid]
+        for rs in crun.members.values():
+            self._release(rs)
+            self.kernels_completed += 1
+            if self.trace is not None:
+                rs.stretched = crun.stretched  # members share the op timeline
+                self.trace.record_kernel(rs, end=now)
+        for fn in self._completion_observers:
+            # Observers see one representative member per rank.
+            for rs in crun.members.values():
+                fn(rs.kernel, now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def all_idle(self) -> bool:
+        """True when every stream on every GPU is fully drained."""
+        return all(g.all_idle() for g in self.gpus) and not self._collectives

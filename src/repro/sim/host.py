@@ -1,0 +1,184 @@
+"""The host (CPU) model: launch overhead and CPU-GPU synchronization.
+
+The paper's §4.5 quantifies why launch modelling matters: a null kernel
+launch costs ~5 µs, but when the CPU must wait for communication kernels on
+*multiple* GPUs to complete before relaunching (the CPU-GPU synchronization
+path), the exposed gap exceeds 20 µs — inconsistent per-GPU launch times plus
+PCIe contention.  Liger's hybrid synchronization pre-launches the next kernel
+groups while one kernel is still running, hiding this entirely.
+
+The prototype runs under MPI (`mpirun -np 4 ./main`): each GPU has its own
+host *rank* issuing launches, so the :class:`Host` keeps **one CPU cursor per
+GPU**.  A launch advances only its GPU's cursor and stamps the resulting time
+as the command's ``available_at``; the GPU sees the command only from then
+on.  If the GPU is still busy past that time the overhead is hidden — the
+asynchronous-launch semantics the hybrid approach exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.events import CudaEvent
+from repro.sim.gpu import Machine
+from repro.sim.kernel import Kernel
+from repro.sim.stream import Stream
+from repro.units import us
+
+__all__ = ["Host"]
+
+#: CPU cost of enqueueing an event record/wait — much cheaper than a launch.
+EVENT_CMD_OVERHEAD = us(0.3)
+
+
+class Host:
+    """CPU-side command issue for one node (one launcher rank per GPU).
+
+    Parameters
+    ----------
+    machine:
+        The device side.
+    launch_overhead:
+        Per-kernel CPU launch cost (µs); defaults to the GPU spec value.
+    sync_visibility_latency:
+        Delay (µs) between an event recording on the GPU and the CPU
+        observing it (PCIe round-trip + driver polling).
+    multi_gpu_launch_penalty:
+        Extra CPU-GPU sync cost when the host must confirm completion on
+        *all* GPUs before proceeding (§4.5's 5 µs → >20 µs effect); defaults
+        to the node spec value.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        launch_overhead: Optional[float] = None,
+        sync_visibility_latency: float = us(2.0),
+        multi_gpu_launch_penalty: Optional[float] = None,
+    ) -> None:
+        self.machine = machine
+        self.launch_overhead = (
+            machine.node.gpu.kernel_launch_overhead
+            if launch_overhead is None
+            else launch_overhead
+        )
+        if self.launch_overhead < 0:
+            raise ConfigError("launch_overhead must be >= 0")
+        self.sync_visibility_latency = sync_visibility_latency
+        self.multi_gpu_launch_penalty = (
+            machine.node.multi_gpu_launch_penalty
+            if multi_gpu_launch_penalty is None
+            else multi_gpu_launch_penalty
+        )
+        #: One CPU time cursor per GPU rank: a rank issues commands serially.
+        self.cursors: List[float] = [0.0] * machine.node.num_gpus
+        self.launches_issued = 0
+
+    # ------------------------------------------------------------------
+    def cursor(self, gpu_id: int) -> float:
+        """Current CPU time of the launcher rank for ``gpu_id``."""
+        return self.cursors[gpu_id]
+
+    def advance_to(self, time: float, gpu_id: Optional[int] = None) -> None:
+        """Move cursor(s) forward (never backward) to ``time``."""
+        if gpu_id is None:
+            self.cursors = [max(c, time) for c in self.cursors]
+        else:
+            self.cursors[gpu_id] = max(self.cursors[gpu_id], time)
+
+    def catch_up(self, gpu_id: Optional[int] = None) -> None:
+        """Advance cursor(s) to the current simulation time (host was idle)."""
+        self.advance_to(self.machine.engine.now, gpu_id)
+
+    # ------------------------------------------------------------------
+    # Command issue (each advances its rank's CPU cursor)
+    # ------------------------------------------------------------------
+    def launch_kernel(
+        self, stream: Stream, kernel: Kernel, *, extra_delay: float = 0.0
+    ) -> float:
+        """Issue one kernel launch; returns its availability time.
+
+        ``extra_delay`` adds device-side availability latency beyond the CPU
+        launch cost without consuming CPU time — used to model the
+        launch-queue lag communication kernels suffer when everything is
+        pre-launched and ordered purely by inter-stream events (§3.4).
+        """
+        if extra_delay < 0:
+            raise ConfigError("extra_delay must be >= 0")
+        g = stream.gpu_id
+        self.cursors[g] += self.launch_overhead
+        self.launches_issued += 1
+        self.machine.launch(stream, kernel, available_at=self.cursors[g] + extra_delay)
+        return self.cursors[g]
+
+    def record_event(self, stream: Stream, event: CudaEvent) -> float:
+        """Issue an event-record command."""
+        g = stream.gpu_id
+        self.cursors[g] += EVENT_CMD_OVERHEAD
+        self.machine.record_event(stream, event, available_at=self.cursors[g])
+        return self.cursors[g]
+
+    def wait_event(self, stream: Stream, event: CudaEvent) -> float:
+        """Issue a stream-wait command (inter-stream sync, no CPU blocking)."""
+        g = stream.gpu_id
+        self.cursors[g] += EVENT_CMD_OVERHEAD
+        self.machine.wait_event(stream, event, available_at=self.cursors[g])
+        return self.cursors[g]
+
+    def launch_group(self, launches: Sequence[Tuple[Stream, Kernel]]) -> List[float]:
+        """Issue a sequence of launches; per-rank cursors advance independently."""
+        return [self.launch_kernel(s, k) for s, k in launches]
+
+    # ------------------------------------------------------------------
+    # CPU-GPU synchronization
+    # ------------------------------------------------------------------
+    def when_event(
+        self,
+        event: CudaEvent,
+        callback: Callable[[], None],
+        *,
+        multi_gpu: bool = False,
+    ) -> None:
+        """Run ``callback`` when the CPU observes ``event`` recorded.
+
+        The callback runs with all cursors advanced to the observation time —
+        the launcher ranks were blocked waiting.  ``multi_gpu=True`` adds the
+        node's multi-GPU completion-confirmation penalty (§4.5).
+        """
+        extra = self.multi_gpu_launch_penalty if multi_gpu else 0.0
+        delay = self.sync_visibility_latency + extra
+
+        def _wrapped() -> None:
+            self.advance_to(self.machine.engine.now)
+            callback()
+
+        event.on_host(_wrapped, delay=delay)
+
+    def when_all_events(
+        self,
+        events: Iterable[CudaEvent],
+        callback: Callable[[], None],
+        *,
+        multi_gpu: bool = False,
+    ) -> None:
+        """Run ``callback`` once every event in ``events`` has recorded."""
+        pending = list(events)
+        remaining = {e.uid for e in pending}
+
+        def _one_done(uid: int) -> Callable[[], None]:
+            def _fn() -> None:
+                remaining.discard(uid)
+                if not remaining:
+                    self.advance_to(self.machine.engine.now)
+                    callback()
+
+            return _fn
+
+        if not pending:
+            # Degenerate case: fire on the next engine tick.
+            self.machine.engine.schedule(0.0, callback)
+            return
+        for e in pending:
+            self.when_event(e, _one_done(e.uid), multi_gpu=multi_gpu)

@@ -1,0 +1,222 @@
+"""Kernel and collective-operation descriptors.
+
+A :class:`Kernel` is the unit the whole system schedules: Liger's function
+assembly produces lists of them, Algorithm 1 partitions those lists into
+subsets, and the simulator executes them on GPU streams.  A kernel carries
+exactly the metadata the paper's function wrappers carry (§3.2): the kernel
+type, its (no-load) duration, and batch/shape context — plus the resource
+footprint the simulator needs for the left-over admission policy and the
+contention model.
+
+Collective communication kernels (all-reduce, point-to-point) are *grouped*:
+one :class:`CollectiveOp` owns a member kernel per participating GPU, and the
+simulator applies rendezvous semantics — no member makes progress until every
+member has been admitted on its device, and all members complete at the same
+instant.  This reproduces the real NCCL behaviour that makes communication
+kernels sensitive to per-rank launch skew (§4.5).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["KernelKind", "Kernel", "CollectiveOp", "CollectiveKind"]
+
+_kernel_ids = itertools.count()
+_collective_ids = itertools.count()
+
+
+class KernelKind(enum.Enum):
+    """The coarse kernel taxonomy the scheduler reasons about.
+
+    The paper's scheduler distinguishes only computation vs communication
+    (the type-switch points in Algorithm 1).  ``MEMORY`` covers device-local
+    copies (KV-cache appends) and ``AUX`` covers negligible bookkeeping; both
+    schedule like computation.
+    """
+
+    COMPUTE = "compute"
+    COMM = "comm"
+    MEMORY = "memory"
+    AUX = "aux"
+
+    @property
+    def is_comm(self) -> bool:
+        return self is KernelKind.COMM
+
+    @property
+    def is_compute_like(self) -> bool:
+        return self is not KernelKind.COMM
+
+
+class CollectiveKind(enum.Enum):
+    """Which collective a COMM kernel group implements."""
+
+    ALL_REDUCE = "all_reduce"
+    P2P = "p2p"
+    ALL_GATHER = "all_gather"
+    REDUCE_SCATTER = "reduce_scatter"
+
+
+@dataclass
+class Kernel:
+    """One GPU kernel instance.
+
+    Parameters
+    ----------
+    name:
+        Human-readable kernel name, e.g. ``"qkv_gemm[L12]"``.
+    kind:
+        Scheduler-visible taxonomy (see :class:`KernelKind`).
+    duration:
+        No-load execution time in µs — what offline profiling reports.  The
+        simulator stretches this when contention applies.
+    occupancy:
+        Fraction of the device's SMs the kernel occupies while resident
+        (0 < occupancy ≤ 1).  Drives the left-over admission policy: a kernel
+        is admitted only when the sum of resident occupancies stays ≤ 1.
+    memory_intensity:
+        Fraction of HBM bandwidth the kernel consumes while running (0..1);
+        feeds the memory-interference term of the contention model.
+    flops / bytes:
+        Work metadata from the cost model; informational (used by reports and
+        decomposition heuristics, never by the executor).
+    batch_id:
+        Serving-side batch this kernel belongs to (−1 for infrastructure).
+    layer / op:
+        Model position metadata, e.g. layer index and operator name.
+    collective:
+        The owning :class:`CollectiveOp` when this is a collective member.
+    decomposable:
+        Whether runtime kernel decomposition (§3.6) may split this kernel.
+    meta:
+        Free-form extras (shapes, decomposition lineage, ...).
+    """
+
+    name: str
+    kind: KernelKind
+    duration: float
+    occupancy: float = 0.9
+    memory_intensity: float = 0.5
+    flops: float = 0.0
+    bytes: float = 0.0
+    batch_id: int = -1
+    layer: int = -1
+    op: str = ""
+    collective: Optional["CollectiveOp"] = None
+    decomposable: bool = False
+    meta: Dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_kernel_ids))
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ConfigError(f"kernel {self.name}: negative duration")
+        if not 0.0 < self.occupancy <= 1.0:
+            raise ConfigError(
+                f"kernel {self.name}: occupancy must be in (0, 1], got {self.occupancy}"
+            )
+        if not 0.0 <= self.memory_intensity <= 1.0:
+            raise ConfigError(
+                f"kernel {self.name}: memory_intensity must be in [0, 1]"
+            )
+
+    @property
+    def is_comm(self) -> bool:
+        return self.kind.is_comm
+
+    def clone(self, **overrides: Any) -> "Kernel":
+        """A copy with a fresh uid; ``overrides`` replace fields."""
+        fields = dict(
+            name=self.name,
+            kind=self.kind,
+            duration=self.duration,
+            occupancy=self.occupancy,
+            memory_intensity=self.memory_intensity,
+            flops=self.flops,
+            bytes=self.bytes,
+            batch_id=self.batch_id,
+            layer=self.layer,
+            op=self.op,
+            collective=self.collective,
+            decomposable=self.decomposable,
+            meta=dict(self.meta),
+        )
+        fields.update(overrides)
+        return Kernel(**fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Kernel(#{self.uid} {self.name} {self.kind.value} "
+            f"{self.duration:.1f}us occ={self.occupancy:.2f} b={self.batch_id})"
+        )
+
+
+@dataclass
+class CollectiveOp:
+    """A group of COMM kernels executing one collective across GPUs.
+
+    Rendezvous semantics are enforced by the machine: the op *starts* when
+    the last member kernel is admitted on its GPU, progresses at the rate of
+    its slowest member (contention on any one device slows the whole ring),
+    and all members complete together.
+    """
+
+    kind: CollectiveKind
+    bytes: float
+    participants: List[int]
+    duration: float
+    batch_id: int = -1
+    name: str = ""
+    members: Dict[int, Kernel] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_collective_ids))
+
+    def __post_init__(self) -> None:
+        if len(self.participants) < 1:
+            raise ConfigError("collective needs at least one participant")
+        if len(set(self.participants)) != len(self.participants):
+            raise ConfigError("collective participants must be distinct")
+        if self.duration < 0:
+            raise ConfigError("collective duration must be >= 0")
+        if not self.name:
+            self.name = f"{self.kind.value}#{self.uid}"
+
+    def make_member(
+        self,
+        gpu: int,
+        *,
+        occupancy: float,
+        memory_intensity: float = 0.4,
+        layer: int = -1,
+        op: str = "",
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Kernel:
+        """Create (and register) the member kernel for one GPU."""
+        if gpu not in self.participants:
+            raise ConfigError(f"GPU {gpu} is not a participant of {self.name}")
+        if gpu in self.members:
+            raise ConfigError(f"{self.name} already has a member on GPU {gpu}")
+        kernel = Kernel(
+            name=f"{self.name}@g{gpu}",
+            kind=KernelKind.COMM,
+            duration=self.duration,
+            occupancy=occupancy,
+            memory_intensity=memory_intensity,
+            bytes=self.bytes,
+            batch_id=self.batch_id,
+            layer=layer,
+            op=op or self.kind.value,
+            collective=self,
+            meta=dict(meta or {}),
+        )
+        self.members[gpu] = kernel
+        return kernel
+
+    @property
+    def complete_membership(self) -> bool:
+        """True once every participant has a member kernel created."""
+        return set(self.members) == set(self.participants)

@@ -1,0 +1,196 @@
+"""Device-memory accounting: weights, activations, KV cache.
+
+The paper's function assembler "manages the execution status, such as memory
+management of intermediate results" (§3.2), and memory capacity decides
+which models fit which testbeds (OPT-30B *just* fits 4×16 GB V100s at 15 GB
+of weights per device).  This module gives the serving stack a first-class
+memory model: a :class:`DeviceMemory` ledger per GPU with tagged
+reservations, and a :class:`NodeMemoryModel` that tracks the node-wide view
+a strategy needs — resident weights at bind time, per-batch activation
+workspaces while a batch is in flight, and KV cache for decode batches.
+
+Reservations are bookkeeping, not simulation events: memory pressure limits
+*admission* (a reservation that doesn't fit raises
+:class:`~repro.errors.OutOfMemoryError`), it does not change kernel timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.hw.devices import NodeSpec
+from repro.models.specs import ModelSpec
+from repro.units import FP16_BYTES
+
+__all__ = ["DeviceMemory", "NodeMemoryModel", "activation_bytes"]
+
+
+def activation_bytes(model: ModelSpec, batch: int, seq: int, tp: int) -> float:
+    """Per-device activation working set of one in-flight batch (bytes).
+
+    Inference engines keep a small number of layer-sized buffers alive (the
+    fused kernels ping-pong between them) plus the current layer's partial
+    tensors; the dominant terms are the ``m×h`` hidden states (double
+    buffered), the ``m×3h/tp`` QKV projection, the ``m×4h/tp`` FFN inner
+    activation, and the attention scores.
+    """
+    if batch < 1 or seq < 1 or tp < 1:
+        raise ConfigError("batch, seq and tp must be >= 1")
+    m = batch * seq
+    h = model.hidden_size
+    hidden_states = 2 * m * h          # double-buffered residual stream
+    qkv = m * 3 * h / tp
+    ffn_inner = m * model.ffn_size / tp
+    heads_p = model.num_heads / tp
+    scores = batch * heads_p * seq * seq
+    return float((hidden_states + qkv + ffn_inner + scores) * FP16_BYTES)
+
+
+class DeviceMemory:
+    """A tagged-reservation ledger for one GPU's HBM."""
+
+    def __init__(self, capacity: float, name: str = "gpu") -> None:
+        if capacity <= 0:
+            raise ConfigError("memory capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._reservations: Dict[str, float] = {}
+
+    @property
+    def used(self) -> float:
+        return sum(self._reservations.values())
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.used
+
+    def reserve(self, tag: str, nbytes: float) -> None:
+        """Reserve ``nbytes`` under ``tag``; raises on OOM or duplicate tag."""
+        if nbytes < 0:
+            raise ConfigError(f"{self.name}: negative reservation for {tag!r}")
+        if tag in self._reservations:
+            raise ConfigError(f"{self.name}: tag {tag!r} already reserved")
+        if nbytes > self.available:
+            raise OutOfMemoryError(
+                f"{self.name}: cannot reserve {nbytes/1e9:.2f} GB for {tag!r}; "
+                f"{self.available/1e9:.2f} GB of {self.capacity/1e9:.2f} GB free"
+            )
+        self._reservations[tag] = nbytes
+
+    def release(self, tag: str) -> float:
+        """Release a reservation; returns the freed byte count."""
+        if tag not in self._reservations:
+            raise ConfigError(f"{self.name}: tag {tag!r} is not reserved")
+        return self._reservations.pop(tag)
+
+    def holds(self, tag: str) -> bool:
+        """True while ``tag`` has an active reservation."""
+        return tag in self._reservations
+
+    def utilization(self) -> float:
+        """Used fraction of capacity."""
+        return self.used / self.capacity
+
+
+@dataclass
+class NodeMemoryModel:
+    """Node-wide memory tracking for one serving deployment.
+
+    The weights are sharded uniformly (both intra- and inter-op shard the
+    full model across all devices), so one ledger per GPU carries the same
+    weight reservation; batch workspaces land on every device too because
+    every strategy here keeps all devices working on each batch (tensor
+    shards or pipeline stages plus inflight boundary buffers).
+    """
+
+    model: ModelSpec
+    node: NodeSpec
+    devices: List[DeviceMemory] = field(init=False)
+    peak_used: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self.devices = [
+            DeviceMemory(self.node.gpu.memory_capacity, name=f"gpu{i}")
+            for i in range(self.node.num_gpus)
+        ]
+        per_dev = self.model.weight_bytes_per_device(self.node.num_gpus)
+        for dev in self.devices:
+            dev.reserve("weights", per_dev)
+        self._note_peak()
+
+    # ------------------------------------------------------------------
+    def reserve_batch(
+        self,
+        batch_id: int,
+        batch: int,
+        seq: int,
+        *,
+        context: int = 0,
+        share: float = 1.0,
+    ) -> None:
+        """Reserve the activation (+ KV cache) workspace of one batch.
+
+        ``share`` scales the per-device reservation: tensor-parallel
+        strategies keep every batch resident on every device (share 1.0),
+        while a pipeline batch occupies one stage at a time — its
+        steady-state per-device footprint is ``1/num_stages`` of the
+        sharded workspace, even though several batches are in flight.
+        """
+        if not 0.0 < share <= 1.0:
+            raise ConfigError(f"share must be in (0, 1], got {share}")
+        tp = self.node.num_gpus
+        nbytes = activation_bytes(self.model, batch, max(seq, 1), tp)
+        if context > 0:
+            nbytes += self.model.kv_cache_bytes(batch, context + 1, tp=tp)
+        nbytes *= share
+        tag = f"batch{batch_id}"
+        reserved: List[DeviceMemory] = []
+        try:
+            for dev in self.devices:
+                dev.reserve(tag, nbytes)
+                reserved.append(dev)
+        except OutOfMemoryError:
+            for dev in reserved:
+                dev.release(tag)
+            raise
+        self._note_peak()
+
+    def release_batch(self, batch_id: int) -> None:
+        """Free the batch workspace on every device (idempotent)."""
+        tag = f"batch{batch_id}"
+        for dev in self.devices:
+            if dev.holds(tag):
+                dev.release(tag)
+
+    # ------------------------------------------------------------------
+    # Generic tagged reservations (generation servers account at sequence /
+    # group granularity: the KV cache lives across iterations).
+    # ------------------------------------------------------------------
+    def reserve(self, tag: str, nbytes: float) -> None:
+        """Reserve ``nbytes`` under ``tag`` on every device, atomically."""
+        reserved: List[DeviceMemory] = []
+        try:
+            for dev in self.devices:
+                dev.reserve(tag, nbytes)
+                reserved.append(dev)
+        except OutOfMemoryError:
+            for dev in reserved:
+                dev.release(tag)
+            raise
+        self._note_peak()
+
+    def release(self, tag: str) -> None:
+        """Free a tagged reservation on every device (idempotent)."""
+        for dev in self.devices:
+            if dev.holds(tag):
+                dev.release(tag)
+
+    def _note_peak(self) -> None:
+        self.peak_used = max(self.peak_used, max(d.used for d in self.devices))
+
+    @property
+    def peak_utilization(self) -> float:
+        """Peak used fraction of a single device's capacity."""
+        return self.peak_used / self.node.gpu.memory_capacity

@@ -1,0 +1,121 @@
+"""CUDA-like streams: FIFO command queues per GPU.
+
+A stream executes its commands strictly in order; different streams on the
+same GPU are independent except where :class:`~repro.sim.events.CudaEvent`
+dependencies couple them and where they compete for the device's execution
+resources (the left-over policy in :mod:`repro.sim.gpu`).
+
+Each command carries an ``available_at`` timestamp — the simulation time the
+*host* finished launching it.  This is how asynchronous kernel launch is
+modelled: the host runs ahead assigning availability times, and a command
+that reaches the head of its stream before it is available simply waits,
+exposing launch overhead exactly when the paper says it is exposed (a GPU
+that drained its queue waits for the CPU; §4.5).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.errors import ConfigError
+from repro.sim.events import CudaEvent
+from repro.sim.kernel import Kernel
+
+__all__ = ["CommandKind", "Command", "Stream"]
+
+_stream_ids = itertools.count()
+
+
+class CommandKind(enum.Enum):
+    LAUNCH = "launch"
+    RECORD_EVENT = "record_event"
+    WAIT_EVENT = "wait_event"
+
+
+@dataclass
+class Command:
+    """One entry in a stream's FIFO."""
+
+    kind: CommandKind
+    available_at: float
+    kernel: Optional[Kernel] = None
+    event: Optional[CudaEvent] = None
+    seq: int = field(default_factory=lambda: next(_stream_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind is CommandKind.LAUNCH and self.kernel is None:
+            raise ConfigError("LAUNCH command requires a kernel")
+        if self.kind in (CommandKind.RECORD_EVENT, CommandKind.WAIT_EVENT):
+            if self.event is None:
+                raise ConfigError(f"{self.kind.value} command requires an event")
+
+
+class Stream:
+    """A FIFO command queue bound to one GPU.
+
+    Parameters
+    ----------
+    gpu_id:
+        Device the stream belongs to.
+    name:
+        Label for traces (``"compute"``, ``"comm"``, ``"s1"`` ...).
+    priority:
+        Admission tie-break among kernels that become ready at the same
+        instant on one device (higher wins).  Mirrors CUDA stream priority —
+        and, as the paper observes (§2.3.1), priority alone does *not*
+        guarantee timely communication-kernel startup; the left-over policy
+        can still defer a COMM kernel that does not fit.
+    """
+
+    def __init__(self, gpu_id: int, name: str, priority: int = 0) -> None:
+        self.uid = next(_stream_ids)
+        self.gpu_id = gpu_id
+        self.name = name
+        self.priority = priority
+        self.queue: Deque[Command] = deque()
+        # Head-state flags owned by the machine pump:
+        self.blocked_on_event: Optional[CudaEvent] = None
+        self.running_kernel: Optional[Kernel] = None
+        # Monotone count of fully retired commands (for tests/metrics).
+        self.retired = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, command: Command) -> None:
+        """Append a command (host-side launch already accounted for)."""
+        self.queue.append(command)
+
+    def head(self) -> Optional[Command]:
+        """The next command to execute, or None when drained."""
+        return self.queue[0] if self.queue else None
+
+    def pop_head(self) -> Command:
+        """Retire the head command."""
+        self.retired += 1
+        return self.queue.popleft()
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued, running, or blocked."""
+        return (
+            not self.queue
+            and self.running_kernel is None
+            and self.blocked_on_event is None
+        )
+
+    @property
+    def pending_commands(self) -> int:
+        return len(self.queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "idle"
+        if self.running_kernel is not None:
+            state = f"running {self.running_kernel.name}"
+        elif self.blocked_on_event is not None:
+            state = f"blocked on {self.blocked_on_event.name}"
+        elif self.queue:
+            state = f"{len(self.queue)} queued"
+        return f"Stream(g{self.gpu_id}/{self.name} prio={self.priority}: {state})"

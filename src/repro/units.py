@@ -1,0 +1,100 @@
+"""Unit conventions and conversion helpers.
+
+The whole library uses one internal convention so quantities can be combined
+without bookkeeping:
+
+========== ===========================
+quantity   internal unit
+========== ===========================
+time       microseconds (``float``)
+data size  bytes (``float``)
+compute    FLOPs (``float``)
+bandwidth  bytes / second
+FLOP rate  FLOPs / second
+rates      requests / second
+========== ===========================
+
+The helpers below convert human-friendly figures (``ms``, ``GB/s``,
+``TFLOPS``) into the internal units.  They are trivial on purpose: making the
+unit explicit at every literal is what prevents the classic
+microseconds-vs-milliseconds bug in a cost model.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "us",
+    "ms",
+    "seconds",
+    "us_to_s",
+    "s_to_us",
+    "KB",
+    "MB",
+    "GB",
+    "GBps",
+    "TFLOPS",
+    "GFLOPS",
+    "FP16_BYTES",
+    "FP32_BYTES",
+]
+
+# Bytes per element for the precisions that appear in the paper (Table 1 uses
+# FP16 everywhere; FP32 shows up only in accumulation which the cost model
+# folds into efficiency).
+FP16_BYTES = 2
+FP32_BYTES = 4
+
+
+def us(value: float) -> float:
+    """Microseconds — identity, for call-site documentation."""
+    return float(value)
+
+
+def ms(value: float) -> float:
+    """Milliseconds → microseconds."""
+    return float(value) * 1e3
+
+
+def seconds(value: float) -> float:
+    """Seconds → microseconds."""
+    return float(value) * 1e6
+
+
+def us_to_s(value: float) -> float:
+    """Microseconds → seconds."""
+    return float(value) * 1e-6
+
+
+def s_to_us(value: float) -> float:
+    """Seconds → microseconds (alias of :func:`seconds`)."""
+    return float(value) * 1e6
+
+
+def KB(value: float) -> float:
+    """Kilobytes (10^3) → bytes."""
+    return float(value) * 1e3
+
+
+def MB(value: float) -> float:
+    """Megabytes (10^6) → bytes."""
+    return float(value) * 1e6
+
+
+def GB(value: float) -> float:
+    """Gigabytes (10^9) → bytes."""
+    return float(value) * 1e9
+
+
+def GBps(value: float) -> float:
+    """GB/s → bytes/s."""
+    return float(value) * 1e9
+
+
+def TFLOPS(value: float) -> float:
+    """TFLOPS → FLOPs/s."""
+    return float(value) * 1e12
+
+
+def GFLOPS(value: float) -> float:
+    """GFLOPS → FLOPs/s."""
+    return float(value) * 1e9

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import a100_pcie_node, v100_nvlink_node
+from repro.sim import Engine, Machine, NullContention, Trace
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def v100_node():
+    return v100_nvlink_node(4)
+
+
+@pytest.fixture
+def a100_node():
+    return a100_pcie_node(4)
+
+
+@pytest.fixture
+def machine(v100_node) -> Machine:
+    """A 4-GPU V100 machine with tracing and NO contention (deterministic)."""
+    return Machine(v100_node, Engine(), contention=NullContention(), trace=Trace())
+
+
+@pytest.fixture
+def contended_machine(v100_node) -> Machine:
+    """A 4-GPU V100 machine with the default contention model and tracing."""
+    return Machine(v100_node, Engine(), trace=Trace())

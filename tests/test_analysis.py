@@ -1,0 +1,96 @@
+"""Tests for post-run serving analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LigerConfig
+from repro.errors import ConfigError
+from repro.experiments.analysis import (
+    comm_lag_events,
+    latency_breakdown,
+    serving_report,
+    utilization_report,
+)
+from repro.hw import v100_nvlink_node
+from repro.models import OPT_30B
+from repro.parallel import InterleavedStrategy, IntraOpStrategy
+from repro.profiling.contention_profiler import ContentionFactors
+from repro.serving import Server
+from repro.serving.workload import general_trace
+
+MODEL = OPT_30B.scaled_layers(6)
+NODE = v100_nvlink_node(4)
+FACTORS = ContentionFactors(compute=1.05, comm=1.10)
+
+
+@pytest.fixture(scope="module")
+def liger_result():
+    strat = InterleavedStrategy(MODEL, NODE, config=LigerConfig(contention_factors=FACTORS))
+    server = Server(MODEL, NODE, strat, record_trace=True, check_memory=False)
+    return server.run(general_trace(24, 300.0, 2, seed=9))
+
+
+@pytest.fixture(scope="module")
+def intra_result():
+    strat = IntraOpStrategy(MODEL, NODE)
+    server = Server(MODEL, NODE, strat, record_trace=True, check_memory=False)
+    return server.run(general_trace(24, 300.0, 2, seed=9))
+
+
+class TestUtilization:
+    def test_per_gpu_rows(self, liger_result):
+        util = utilization_report(liger_result, 4)
+        assert len(util) == 4
+        for u in util:
+            assert 0 < u.busy_fraction <= 1.0
+            assert 0 <= u.comm_fraction <= 1.0
+            assert 0 <= u.comm_hidden_fraction <= 1.0
+
+    def test_liger_hides_more_comm_than_intra(self, liger_result, intra_result):
+        liger_hidden = utilization_report(liger_result, 4)[0].comm_hidden_fraction
+        intra_hidden = utilization_report(intra_result, 4)[0].comm_hidden_fraction
+        assert liger_hidden > intra_hidden + 0.2
+
+    def test_requires_trace(self):
+        strat = IntraOpStrategy(MODEL, NODE)
+        server = Server(MODEL, NODE, strat, record_trace=False, check_memory=False)
+        result = server.run(general_trace(4, 50.0, 2, seed=9))
+        with pytest.raises(ConfigError):
+            utilization_report(result, 4)
+
+
+class TestBreakdown:
+    def test_pending_plus_execution_equals_total(self, liger_result):
+        rows = latency_breakdown(liger_result)
+        assert rows
+        for b in rows:
+            assert b.pending >= -1e-6
+            assert b.execution > 0
+            assert b.total == pytest.approx(b.pending + b.execution)
+
+    def test_overloaded_run_accumulates_pending(self, intra_result):
+        rows = latency_breakdown(intra_result)
+        # At 300 req/s this little node queues: later batches pend longer.
+        assert rows[-1].pending > rows[0].pending
+
+    def test_batch_ids_match_requests(self, liger_result):
+        ids_in_trace = {b.batch_id for b in latency_breakdown(liger_result)}
+        ids_in_metrics = {r.batch_id for r in liger_result.metrics.completed}
+        assert ids_in_trace == ids_in_metrics
+
+
+class TestLagAndReport:
+    def test_comm_lag_events_bounded(self, liger_result):
+        events = comm_lag_events(liger_result, threshold_us=20.0)
+        comm_total = sum(
+            1 for r in liger_result.trace.rows if r.kind.value == "comm"
+        )
+        # Hybrid sync keeps lag rare: well under half of comm kernels.
+        assert len(events) < comm_total / 2
+
+    def test_serving_report_renders(self, liger_result):
+        text = serving_report(liger_result, 4)
+        assert "busy(%)" in text
+        assert "pending" in text
+        assert "start lag" in text

@@ -1,0 +1,104 @@
+"""Tests for online (adaptive) contention anticipation — extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdaptiveAnticipator, LigerConfig
+from repro.errors import ConfigError
+from repro.hw import v100_nvlink_node
+from repro.models import OPT_30B
+from repro.parallel import InterleavedStrategy
+from repro.serving import Server
+from repro.serving.workload import general_trace
+from repro.sim.kernel import KernelKind
+
+MODEL = OPT_30B.scaled_layers(6)
+NODE = v100_nvlink_node(4)
+
+
+class TestEstimator:
+    def test_starts_neutral(self):
+        a = AdaptiveAnticipator(margin=1.0)
+        assert a.scale(KernelKind.COMM) == 1.0
+        assert a.scale(KernelKind.COMPUTE) == 1.0
+
+    def test_jumps_to_new_maximum(self):
+        a = AdaptiveAnticipator(margin=1.0)
+        a.observe(KernelKind.COMM, noload=10.0, measured=12.0)
+        assert a.scale(KernelKind.COMM) == pytest.approx(1.2)
+
+    def test_decays_toward_lower_observations(self):
+        a = AdaptiveAnticipator(decay=0.5, margin=1.0)
+        a.observe(KernelKind.COMM, 10.0, 15.0)  # 1.5
+        a.observe(KernelKind.COMM, 10.0, 10.0)  # 1.0 → decay halfway
+        assert a.scale(KernelKind.COMM) == pytest.approx(1.25)
+
+    def test_kinds_tracked_independently(self):
+        a = AdaptiveAnticipator(margin=1.0)
+        a.observe(KernelKind.COMM, 10.0, 13.0)
+        a.observe(KernelKind.COMPUTE, 10.0, 10.5)
+        assert a.scale(KernelKind.COMM) == pytest.approx(1.3)
+        assert a.scale(KernelKind.COMPUTE) == pytest.approx(1.05)
+
+    def test_sub_unity_observations_clamped(self):
+        a = AdaptiveAnticipator(margin=1.0)
+        a.observe(KernelKind.COMM, 10.0, 5.0)  # nonsense: faster than solo
+        assert a.scale(KernelKind.COMM) >= 1.0
+
+    def test_margin_applied(self):
+        a = AdaptiveAnticipator(margin=1.1)
+        assert a.scale(KernelKind.COMM) == pytest.approx(1.1)
+
+    def test_anticipated_duration(self):
+        a = AdaptiveAnticipator(margin=1.0)
+        a.observe(KernelKind.COMM, 10.0, 12.0)
+        assert a.anticipated(100.0, KernelKind.COMM) == pytest.approx(120.0)
+
+    def test_factors_snapshot(self):
+        a = AdaptiveAnticipator(margin=1.0)
+        a.observe(KernelKind.COMM, 10.0, 11.0)
+        f = a.factors
+        assert f.comm == pytest.approx(1.1)
+        assert f.compute == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            AdaptiveAnticipator(decay=0.0)
+        with pytest.raises(ConfigError):
+            AdaptiveAnticipator(margin=0.9)
+
+    def test_zero_noload_ignored(self):
+        a = AdaptiveAnticipator(margin=1.0)
+        a.observe(KernelKind.COMM, 0.0, 5.0)
+        assert a.observations == 0
+
+
+class TestAdaptiveServing:
+    def _run(self, cfg):
+        strat = InterleavedStrategy(MODEL, NODE, config=cfg)
+        server = Server(MODEL, NODE, strat, check_memory=False)
+        result = server.run(general_trace(32, 400.0, 2, seed=8))
+        return strat, result
+
+    def test_learns_factors_during_serving(self):
+        strat, result = self._run(LigerConfig(adaptive_anticipation=True))
+        assert result.metrics.num_completed == 32
+        assert strat.anticipator.observations > 100
+        f = strat.anticipator.factors
+        # Learned comm contention must be in a plausible band.
+        assert 1.0 <= f.comm <= 1.4
+        assert 1.0 <= f.compute <= 1.3
+
+    def test_competitive_with_offline_profiling(self):
+        from repro.profiling.contention_profiler import ContentionFactors
+
+        _, adaptive = self._run(LigerConfig(adaptive_anticipation=True))
+        _, offline = self._run(
+            LigerConfig(
+                contention_factors=ContentionFactors(compute=1.05, comm=1.10)
+            )
+        )
+        # No offline pass, same ballpark performance (±15 %).
+        assert adaptive.avg_latency_ms <= offline.avg_latency_ms * 1.15
+        assert adaptive.throughput >= offline.throughput * 0.85

@@ -1,0 +1,142 @@
+"""Tests for function assembly (§3.2): KernelFunc, FuncVec, FunctionAssembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assembly import FuncVec, FunctionAssembler, KernelFunc
+from repro.errors import ConfigError
+from repro.hw import v100_nvlink_node
+from repro.models import OPT_30B
+from repro.models.ops import allreduce_op, gemm_op
+from repro.models.transformer import prefill_ops
+from repro.profiling import OpProfiler
+from repro.serving.request import Batch, Phase, Request
+from repro.sim.kernel import KernelKind
+
+
+def make_batch(size=2, seq=64, arrival=0.0, phase=Phase.PREFILL):
+    return Batch(
+        requests=[
+            Request(rid=i, arrival=arrival, seq_len=seq, phase=phase)
+            for i in range(size)
+        ]
+    )
+
+
+def kf(op, duration, batch_id=0):
+    return KernelFunc(
+        op=op,
+        duration=duration,
+        kind=op.kind,
+        batch_id=batch_id,
+        batch_size=2,
+        seq_len=64,
+        decomposable=op.decomposable,
+    )
+
+
+class TestKernelFunc:
+    def test_metadata_carried(self):
+        op = gemm_op("g", 0, 128, 512, 512)
+        f = kf(op, 42.0)
+        assert f.duration == 42.0
+        assert not f.is_comm
+        assert f.batch_size == 2 and f.seq_len == 64
+
+    def test_same_type_granularity(self):
+        comm = kf(allreduce_op("ar", 0, 1e6), 10.0)
+        comp = kf(gemm_op("g", 0, 8, 8, 8), 10.0)
+        assert comm.same_type_as(KernelKind.COMM)
+        assert not comm.same_type_as(KernelKind.COMPUTE)
+        assert comp.same_type_as(KernelKind.COMPUTE)
+        # MEMORY schedules like computation
+        assert comp.same_type_as(KernelKind.MEMORY)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            kf(gemm_op("g", 0, 8, 8, 8), -1.0)
+
+
+class TestFuncVec:
+    def _vec(self):
+        funcs = [
+            kf(gemm_op("g1", 0, 128, 512, 512), 10.0),
+            kf(gemm_op("g2", 0, 128, 512, 512), 10.0),
+            kf(allreduce_op("ar", 0, 1e6), 5.0),
+            kf(gemm_op("g3", 1, 128, 512, 512), 10.0),
+        ]
+        return FuncVec(make_batch(), funcs)
+
+    def test_fifo_order(self):
+        v = self._vec()
+        names = [v.pop().op.name for _ in range(4)]
+        assert names == ["g1", "g2", "ar", "g3"]
+        assert v.empty
+
+    def test_next_switches_detects_type_boundary(self):
+        v = self._vec()
+        assert not v.next_switches()  # g1 → g2: same type
+        v.pop()
+        assert v.next_switches()  # g2 → ar: switch
+        v.pop()
+        assert v.next_switches()  # ar → g3: switch
+        v.pop()
+        assert v.next_switches()  # g3 is last
+
+    def test_push_front(self):
+        v = self._vec()
+        first = v.pop()
+        v.push_front(first)
+        assert v.peek().op.name == "g1"
+        assert len(v) == 4
+
+    def test_empty_vec_rejected(self):
+        with pytest.raises(ConfigError):
+            FuncVec(make_batch(), [])
+
+    def test_empty_operations_rejected(self):
+        v = self._vec()
+        for _ in range(4):
+            v.pop()
+        with pytest.raises(ConfigError):
+            v.pop()
+        with pytest.raises(ConfigError):
+            v.peek()
+        with pytest.raises(ConfigError):
+            v.next_switches()
+
+
+class TestFunctionAssembler:
+    def test_assembles_full_prefill(self):
+        node = v100_nvlink_node(4)
+        profiler = OpProfiler(node)
+        assembler = FunctionAssembler(
+            lambda b: prefill_ops(OPT_30B, b.size, b.seq_len, 4), profiler
+        )
+        batch = make_batch(size=2, seq=64)
+        vec = assembler.assemble(batch)
+        ops = prefill_ops(OPT_30B, 2, 64, 4)
+        assert len(vec) == len(ops)
+        assert vec.batch is batch
+        # Durations come from the profiler.
+        head = vec.peek()
+        assert head.duration == profiler.duration(ops[0])
+        assert assembler.batches_assembled == 1
+
+    def test_durations_positive_and_types_alternate_sanely(self):
+        node = v100_nvlink_node(4)
+        assembler = FunctionAssembler(
+            lambda b: prefill_ops(OPT_30B, b.size, b.seq_len, 4), OpProfiler(node)
+        )
+        vec = assembler.assemble(make_batch())
+        comm = comp = 0
+        while not vec.empty:
+            f = vec.pop()
+            assert f.duration > 0
+            if f.is_comm:
+                comm += 1
+            else:
+                comp += 1
+        assert comm == 2 * OPT_30B.num_layers + 1
+        assert comp > comm

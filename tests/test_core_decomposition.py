@@ -1,0 +1,181 @@
+"""Tests for runtime kernel decomposition (§3.6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assembly import KernelFunc
+from repro.core.decomposition import (
+    DecompositionPlanner,
+    split_allreduce,
+    split_gemm_horizontal,
+    split_gemm_vertical,
+)
+from repro.errors import ConfigError
+from repro.hw import v100_nvlink_node
+from repro.models.ops import allreduce_op, attention_op, gemm_op
+from repro.profiling import OpProfiler
+from repro.sim.kernel import KernelKind
+
+
+@pytest.fixture
+def profiler():
+    return OpProfiler(v100_nvlink_node(4))
+
+
+def kfunc(op, profiler, decomposable=True):
+    return KernelFunc(
+        op=op,
+        duration=profiler.duration(op),
+        kind=op.kind,
+        batch_id=0,
+        batch_size=2,
+        seq_len=64,
+        decomposable=decomposable,
+    )
+
+
+class TestSplits:
+    def test_vertical_preserves_total_columns(self):
+        op = gemm_op("g", 0, 144, 7168, 28672)
+        piece, rest = split_gemm_vertical(op, 3, 8)
+        assert piece.gemm_shape[2] + rest.gemm_shape[2] == 28672
+        assert piece.gemm_shape[:2] == (144, 7168)
+        assert rest.gemm_shape[:2] == (144, 7168)
+
+    def test_horizontal_preserves_total_rows(self):
+        op = gemm_op("g", 0, 144, 7168, 28672)
+        piece, rest = split_gemm_horizontal(op, 1, 4)
+        assert piece.gemm_shape[0] + rest.gemm_shape[0] == 144
+
+    def test_allreduce_preserves_bytes(self):
+        op = allreduce_op("ar", 0, 8e6)
+        piece, rest = split_allreduce(op, 5, 8)
+        assert piece.comm_bytes + rest.comm_bytes == pytest.approx(8e6)
+
+    def test_invalid_fraction_rejected(self):
+        op = gemm_op("g", 0, 144, 512, 512)
+        for numer, denom in [(0, 8), (8, 8), (9, 8), (1, 1)]:
+            with pytest.raises(ConfigError):
+                split_gemm_vertical(op, numer, denom)
+
+    def test_vertical_work_conservation_flops(self, profiler):
+        """Split pieces do the same total FLOPs as the whole kernel."""
+        op = gemm_op("g", 0, 144, 7168, 28672)
+        piece, rest = split_gemm_vertical(op, 3, 8)
+        whole_flops = 2 * 144 * 7168 * 28672
+        split_flops = sum(
+            2 * s.gemm_shape[0] * s.gemm_shape[1] * s.gemm_shape[2]
+            for s in (piece, rest)
+        )
+        assert split_flops == whole_flops
+
+
+class TestFig9:
+    """The paper's decomposition-strategy comparison."""
+
+    def test_vertical_beats_horizontal(self, profiler):
+        op = gemm_op("g", 0, 144, 7168, 28672)
+        d = 8
+        whole = profiler.duration(op)
+        vert = sum(
+            profiler.duration(split_gemm_vertical(op, 1, d)[0]) for _ in range(d)
+        )
+        horiz = sum(
+            profiler.duration(split_gemm_horizontal(op, 1, d)[0]) for _ in range(d)
+        )
+        assert vert < horiz
+        # vertical overhead is modest; horizontal blows up
+        assert vert < 1.5 * whole
+        assert horiz > 2.0 * whole
+
+
+class TestPlanner:
+    def test_fits_whole_window_with_largest_piece(self, profiler):
+        planner = DecompositionPlanner(profiler, 8)
+        op = gemm_op("g", 0, 144, 7168, 28672)
+        f = kfunc(op, profiler)
+        window = profiler.duration(op) * 0.9
+        result = planner.split_to_fit(f, window)
+        assert result is not None
+        piece, rest = result
+        assert piece.duration <= window
+        assert not piece.decomposable
+        assert rest.decomposable
+        # pieces partition the columns
+        assert piece.op.gemm_shape[2] + rest.op.gemm_shape[2] == 28672
+
+    def test_larger_window_gets_larger_piece(self, profiler):
+        planner = DecompositionPlanner(profiler, 8)
+        op = gemm_op("g", 0, 144, 7168, 28672)
+        f = kfunc(op, profiler)
+        dur = profiler.duration(op)
+        small = planner.split_to_fit(f, dur * 0.3)
+        large = planner.split_to_fit(f, dur * 0.8)
+        assert small and large
+        assert large[0].op.gemm_shape[2] > small[0].op.gemm_shape[2]
+
+    def test_window_too_small_returns_none(self, profiler):
+        planner = DecompositionPlanner(profiler, 8)
+        op = gemm_op("g", 0, 144, 7168, 28672)
+        f = kfunc(op, profiler)
+        assert planner.split_to_fit(f, 0.5) is None
+
+    def test_scale_applied_to_fit(self, profiler):
+        planner = DecompositionPlanner(profiler, 8)
+        op = allreduce_op("ar", 0, 8e6)
+        f = kfunc(op, profiler)
+        window = profiler.duration(op) * 0.5
+        unscaled = planner.split_to_fit(f, window, scale=1.0)
+        scaled = planner.split_to_fit(f, window, scale=2.0)
+        assert unscaled is not None and scaled is not None
+        assert scaled[0].op.comm_bytes < unscaled[0].op.comm_bytes
+
+    def test_non_decomposable_kernel_refused(self, profiler):
+        planner = DecompositionPlanner(profiler, 8)
+        attn = attention_op("a", 0, batch=2, q_len=64, ctx_len=64, heads=14, head_dim=128)
+        f = KernelFunc(
+            op=attn, duration=profiler.duration(attn), kind=KernelKind.COMPUTE,
+            batch_id=0, batch_size=2, seq_len=64, decomposable=False,
+        )
+        assert not planner.can_decompose(f)
+        assert planner.split_to_fit(f, 1e9) is None
+
+    def test_division_factor_one_disables(self, profiler):
+        planner = DecompositionPlanner(profiler, 1)
+        f = kfunc(gemm_op("g", 0, 144, 7168, 28672), profiler)
+        assert not planner.can_decompose(f)
+
+    def test_profile_divisions_table(self, profiler):
+        """The §3.6 offline table: d−1 monotone entries."""
+        planner = DecompositionPlanner(profiler, 8)
+        f = kfunc(gemm_op("g", 0, 144, 7168, 28672), profiler)
+        table = planner.profile_divisions(f)
+        assert len(table) == 7
+        durations = [t for _, t in table]
+        assert durations == sorted(durations)
+
+    def test_tiny_gemm_not_decomposable(self, profiler):
+        planner = DecompositionPlanner(profiler, 8)
+        f = kfunc(gemm_op("g", 0, 2, 4, 4), profiler)
+        assert not planner.can_decompose(f)
+
+
+@given(
+    window_frac=st.floats(min_value=0.05, max_value=0.95),
+    d=st.sampled_from([2, 4, 8, 16]),
+)
+@settings(max_examples=40, deadline=None)
+def test_split_piece_always_fits_window(window_frac, d):
+    profiler = OpProfiler(v100_nvlink_node(4))
+    planner = DecompositionPlanner(profiler, d)
+    op = gemm_op("g", 0, 144, 7168, 28672)
+    f = kfunc(op, profiler)
+    window = profiler.duration(op) * window_frac
+    result = planner.split_to_fit(f, window)
+    if result is not None:
+        piece, rest = result
+        assert piece.duration <= window + 1e-9
+        assert piece.op.gemm_shape[2] + rest.op.gemm_shape[2] == 28672

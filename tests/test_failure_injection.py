@@ -1,0 +1,130 @@
+"""Failure-injection tests: the simulator must fail loudly, never wedge.
+
+Injects the classes of faults a scheduling runtime meets in practice —
+mis-specified contention models, dependency cycles, ranks that never show
+up, double submissions, memory exhaustion — and checks each is either
+contained (clamped / rolled back) or raised as the specific typed error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    OutOfMemoryError,
+    StreamProtocolError,
+)
+from repro.hw import v100_nvlink_node
+from repro.sim import (
+    ContentionModel,
+    CudaEvent,
+    Engine,
+    Kernel,
+    KernelKind,
+    Machine,
+    Trace,
+)
+
+
+def k(name, dur=10.0, kind=KernelKind.COMPUTE, occ=0.4):
+    return Kernel(name=name, kind=kind, duration=dur, occupancy=occ)
+
+
+class AcceleratingContention(ContentionModel):
+    """A buggy model claiming overlapped kernels run FASTER than solo."""
+
+    def slowdowns(self, resident):
+        return {kern.uid: 0.25 for kern in resident}
+
+
+class TestRogueContentionModel:
+    def test_sub_unity_slowdowns_clamped(self):
+        m = Machine(
+            v100_nvlink_node(1), Engine(),
+            contention=AcceleratingContention(), trace=Trace(),
+        )
+        m.launch(m.gpu(0).stream("a"), k("x", 100.0), available_at=0.0)
+        m.launch(m.gpu(0).stream("b"), k("y", 100.0), available_at=0.0)
+        m.run()
+        # Kernels may never finish faster than their no-load duration.
+        for r in m.trace.rows:
+            assert r.duration >= 100.0 - 1e-6
+
+
+class TestDependencyFaults:
+    def test_event_wait_cycle_detected_as_deadlock(self):
+        m = Machine(v100_nvlink_node(1), Engine(), trace=Trace())
+        s0 = m.gpu(0).stream("s0")
+        s1 = m.gpu(0).stream("s1")
+        e0, e1 = CudaEvent("e0"), CudaEvent("e1")
+        # s0 waits e1 before recording e0; s1 waits e0 before recording e1.
+        m.wait_event(s0, e1, available_at=0.0)
+        m.record_event(s0, e0, available_at=0.0)
+        m.wait_event(s1, e0, available_at=0.0)
+        m.record_event(s1, e1, available_at=0.0)
+        with pytest.raises(DeadlockError):
+            m.run()
+
+    def test_partial_collective_membership_rejected_up_front(self):
+        from repro.sim.interconnect import CollectiveCostModel
+
+        node = v100_nvlink_node(4)
+        ccm = CollectiveCostModel(node.topology)
+        coll = ccm.make_allreduce(1e6, [0, 1, 2, 3])
+        m = Machine(node, Engine(), trace=Trace())
+        # Ranks 2 and 3 never launch: rendezvous can't complete.
+        m.launch(m.gpu(0).stream("c"), coll.members[0], available_at=0.0)
+        m.launch(m.gpu(1).stream("c"), coll.members[1], available_at=0.0)
+        with pytest.raises(DeadlockError):
+            m.run()
+
+    def test_double_event_record_flagged(self):
+        m = Machine(v100_nvlink_node(1), Engine(), trace=Trace())
+        s = m.gpu(0).stream("s")
+        ev = CudaEvent("dup")
+        m.record_event(s, ev, available_at=0.0)
+        m.record_event(s, ev, available_at=0.0)
+        with pytest.raises(StreamProtocolError):
+            m.run()
+
+
+class TestServingFaults:
+    def test_double_batch_submission_rejected(self):
+        from repro.models import OPT_30B
+        from repro.parallel import IntraOpStrategy
+        from repro.serving import Server
+        from repro.serving.workload import general_trace
+
+        model = OPT_30B.scaled_layers(4)
+        node = v100_nvlink_node(4)
+        strat = IntraOpStrategy(model, node)
+        Server(model, node, strat, check_memory=False)
+        batch = general_trace(2, 10.0, 2, seed=0)[0]
+        strat.submit_batch(batch)
+        with pytest.raises(ConfigError):
+            strat.submit_batch(batch)  # still open: double submission
+
+    def test_memory_exhaustion_raises_typed_error(self):
+        from repro.models import ModelSpec
+        from repro.parallel import IntraOpStrategy
+        from repro.serving import Server
+        from repro.serving.request import Batch, Request
+        from repro.units import GB
+
+        # A model whose weights almost fill the device: one huge batch OOMs.
+        model = ModelSpec(
+            name="tight", num_layers=2, num_heads=8, hidden_size=4096,
+            weight_bytes=GB(62.0),
+        )
+        node = v100_nvlink_node(4)  # 15.5 GB weights in 16 GB devices
+        strat = IntraOpStrategy(model, node)
+        server = Server(model, node, strat, check_memory=False)
+        huge = Batch(
+            requests=[
+                Request(rid=i, arrival=1.0, seq_len=4096) for i in range(64)
+            ]
+        )
+        with pytest.raises(OutOfMemoryError):
+            server.run([huge])

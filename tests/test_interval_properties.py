@@ -1,0 +1,71 @@
+"""Property tests for the trace interval math (union / intersection).
+
+The overlap statistics behind Fig. 3's communication share and the
+overlap-efficiency metric reduce to interval-set arithmetic; these tests
+check it against a brute-force rasterisation oracle.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.tracing import _intersection_length, _union_length
+
+_RES = 0.25  # raster cell (intervals are drawn on a multiple-of-0.25 grid)
+
+
+def rasterize(intervals, lo, hi):
+    cells = set()
+    n = int((hi - lo) / _RES) + 1
+    for s, e in intervals:
+        for i in range(n):
+            t = lo + i * _RES
+            if s <= t < e:
+                cells.add(i)
+    return cells
+
+
+interval = st.tuples(
+    st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=200)
+).map(lambda p: (min(p) * _RES, max(p) * _RES))
+
+
+@given(st.lists(interval, min_size=0, max_size=12))
+@settings(max_examples=80, deadline=None)
+def test_union_matches_rasterized_oracle(intervals):
+    intervals = sorted(intervals)
+    expected = len(rasterize(intervals, 0.0, 50.0)) * _RES
+    assert abs(_union_length(intervals) - expected) < 1e-6
+
+
+@given(
+    st.lists(interval, min_size=0, max_size=8),
+    st.lists(interval, min_size=0, max_size=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_intersection_matches_rasterized_oracle(a, b):
+    a, b = sorted(a), sorted(b)
+    expected = len(rasterize(a, 0.0, 50.0) & rasterize(b, 0.0, 50.0)) * _RES
+    assert abs(_intersection_length(a, b) - expected) < 1e-6
+
+
+@given(st.lists(interval, min_size=0, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_self_intersection_equals_union(intervals):
+    intervals = sorted(intervals)
+    assert abs(
+        _intersection_length(intervals, intervals) - _union_length(intervals)
+    ) < 1e-6
+
+
+@given(
+    st.lists(interval, min_size=0, max_size=8),
+    st.lists(interval, min_size=0, max_size=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_intersection_bounded_by_each_union(a, b):
+    a, b = sorted(a), sorted(b)
+    inter = _intersection_length(a, b)
+    assert inter <= _union_length(a) + 1e-9
+    assert inter <= _union_length(b) + 1e-9

@@ -1,0 +1,161 @@
+"""Tests for the analytical kernel cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.hw import A100_80GB_PCIE, V100_16GB
+from repro.models import KernelCostModel, OPT_30B, OPT_66B, GLM_130B
+from repro.models.ops import allreduce_op, attention_op, elementwise_op, gemm_op
+
+
+@pytest.fixture
+def v100():
+    return KernelCostModel(V100_16GB)
+
+
+@pytest.fixture
+def a100():
+    return KernelCostModel(A100_80GB_PCIE)
+
+
+class TestGemm:
+    def test_duration_scales_roughly_with_flops(self, v100):
+        t1 = v100.gemm_time(256, 4096, 4096)
+        t2 = v100.gemm_time(512, 4096, 4096)
+        assert 1.8 < t2 / t1 < 2.2
+
+    def test_faster_gpu_is_faster(self, v100, a100):
+        shape = (256, 8192, 8192)
+        assert a100.gemm_time(*shape) < v100.gemm_time(*shape)
+
+    def test_skinny_rows_hurt_efficiency(self, v100):
+        # The Fig. 9 effect: small m → much lower efficiency.
+        assert v100.gemm_efficiency(8, 4096, 4096) < 0.5 * v100.gemm_efficiency(
+            512, 4096, 4096
+        )
+
+    def test_efficiency_bounded(self, v100):
+        for m, k, n in [(1, 64, 64), (4096, 8192, 8192), (16, 7168, 7168)]:
+            eff = v100.gemm_efficiency(m, k, n)
+            assert 0 < eff <= v100.base_efficiency
+
+    def test_tiny_gemm_dominated_by_overhead(self, v100):
+        t = v100.gemm_time(1, 64, 64)
+        assert t == pytest.approx(v100.kernel_overhead, rel=0.5)
+
+    def test_decode_gemm_memory_bound(self, v100):
+        # m = batch = 32, full hidden: weight streaming dominates.
+        bd = v100.gemm_breakdown(32, 7168, 7168)
+        assert bd.bound == "memory"
+
+    def test_prefill_gemm_compute_bound(self, v100):
+        bd = v100.gemm_breakdown(512, 7168, 7168)
+        assert bd.bound == "compute"
+
+    def test_giant_panel_rolloff(self, a100):
+        """Fig. 10(j)(k): 4 partitioned kernels can sum below one whole kernel."""
+        m = 144
+        for model, partitioned_wins in [(OPT_30B, False), (OPT_66B, True), (GLM_130B, True)]:
+            whole = a100.gemm_time(m, model.ffn_size, model.hidden_size)
+            parts = 4 * a100.gemm_time(m, model.ffn_size // 4, model.hidden_size)
+            assert (parts < whole) == partitioned_wins, model.name
+
+    def test_vertical_split_much_cheaper_than_horizontal(self, v100):
+        """Fig. 9: horizontal decomposition (splitting skinny A) is far worse."""
+        m, k, n, d = 144, 7168, 28672, 8
+        whole = v100.gemm_time(m, k, n)
+        vertical = d * v100.gemm_time(m, k, n // d)
+        horizontal = d * v100.gemm_time(max(1, m // d), k, n)
+        assert vertical < horizontal
+        assert vertical / whole < 1.4
+        assert horizontal / whole > 2.0
+
+
+class TestOtherOps:
+    def test_attention_scales_with_context(self, v100):
+        short = v100.attention_breakdown(2, 1, 64, 14, 128).total
+        long = v100.attention_breakdown(2, 1, 2048, 14, 128).total
+        assert long > short
+
+    def test_decode_attention_memory_bound(self, v100):
+        bd = v100.attention_breakdown(32, 1, 512, 14, 128)
+        assert bd.bound == "memory"
+
+    def test_elementwise_linear_in_elems(self, v100):
+        base = v100.elementwise_time(1e6) - v100.kernel_overhead
+        double = v100.elementwise_time(2e6) - v100.kernel_overhead
+        assert double == pytest.approx(2 * base, rel=1e-6)
+
+    def test_duration_dispatch(self, v100):
+        assert v100.duration(gemm_op("g", 0, 128, 1024, 1024)) > 0
+        assert (
+            v100.duration(
+                attention_op("a", 0, batch=2, q_len=8, ctx_len=8, heads=4, head_dim=64)
+            )
+            > 0
+        )
+        assert v100.duration(elementwise_op("e", 0, 1e5)) > 0
+
+    def test_collective_dispatch_rejected(self, v100):
+        with pytest.raises(ConfigError):
+            v100.duration(allreduce_op("ar", 0, 1e6))
+        with pytest.raises(ConfigError):
+            v100.occupancy(allreduce_op("ar", 0, 1e6))
+        with pytest.raises(ConfigError):
+            v100.memory_intensity(allreduce_op("ar", 0, 1e6))
+
+    def test_occupancy_ranges(self, v100):
+        big = v100.occupancy(gemm_op("g", 0, 256, 4096, 4096))
+        small = v100.occupancy(gemm_op("g", 0, 4, 4096, 4096))
+        assert big == pytest.approx(0.92)
+        assert small < big
+        assert 0 < small <= 1
+
+    def test_memory_intensity_ranges(self, v100):
+        for op in [
+            gemm_op("g", 0, 256, 4096, 4096),
+            attention_op("a", 0, batch=2, q_len=8, ctx_len=8, heads=4, head_dim=64),
+            elementwise_op("e", 0, 1e5),
+        ]:
+            assert 0 <= v100.memory_intensity(op) <= 1
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            KernelCostModel(V100_16GB, base_efficiency=0.0)
+        with pytest.raises(ConfigError):
+            KernelCostModel(V100_16GB, kernel_overhead=-1.0)
+        with pytest.raises(ConfigError):
+            KernelCostModel(V100_16GB, tile_rolloff_strength=-0.5)
+
+
+@given(
+    m=st.integers(min_value=1, max_value=4096),
+    k=st.integers(min_value=64, max_value=16384),
+    n=st.integers(min_value=64, max_value=16384),
+)
+@settings(max_examples=80, deadline=None)
+def test_gemm_time_positive_and_at_least_overhead(m, k, n):
+    cm = KernelCostModel(V100_16GB)
+    t = cm.gemm_time(m, k, n)
+    assert t >= cm.kernel_overhead
+
+
+@given(
+    m=st.integers(min_value=1, max_value=1024),
+    k=st.integers(min_value=256, max_value=8192),
+    n=st.integers(min_value=256, max_value=8192),
+    d=st.sampled_from([2, 4, 8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_vertical_decomposition_never_cheaper_when_small(m, k, n, d):
+    """Below the rolloff threshold, splitting always costs something."""
+    cm = KernelCostModel(V100_16GB)
+    if k * n >= cm.tile_rolloff_threshold or n // d < 1:
+        return
+    whole = cm.gemm_time(m, k, n)
+    parts = sum(cm.gemm_time(m, k, n // d) for _ in range(d))
+    assert parts >= whole * 0.999

@@ -1,0 +1,118 @@
+"""Tests for model specifications (Table 1) and placement math."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, PartitionError
+from repro.hw import a100_pcie_node, v100_nvlink_node
+from repro.models import GLM_130B, MODELS, OPT_30B, OPT_66B, ModelSpec, check_placement
+from repro.units import GB
+
+
+class TestTable1:
+    """The specs must match the paper's Table 1 exactly."""
+
+    @pytest.mark.parametrize(
+        "model,params_gb,layers,heads,hidden",
+        [
+            (OPT_30B, 60, 48, 56, 7168),
+            (OPT_66B, 132, 64, 72, 9216),
+            (GLM_130B, 260, 70, 96, 12288),
+        ],
+    )
+    def test_table1_row(self, model, params_gb, layers, heads, hidden):
+        assert model.weight_bytes == GB(params_gb)
+        assert model.num_layers == layers
+        assert model.num_heads == heads
+        assert model.hidden_size == hidden
+
+    def test_models_registry(self):
+        assert {"OPT-30B", "OPT-66B", "GLM-130B"} <= set(MODELS)
+
+    def test_approx_params_order_of_magnitude(self):
+        # 12·L·h² should land within 20% of the nominal count.
+        assert OPT_30B.approx_params == pytest.approx(30e9, rel=0.2)
+        assert OPT_66B.approx_params == pytest.approx(66e9, rel=0.2)
+        assert GLM_130B.approx_params == pytest.approx(130e9, rel=0.2)
+
+
+class TestSpecDerived:
+    def test_head_dim(self):
+        assert OPT_30B.head_dim == 128
+        assert GLM_130B.head_dim == 128
+
+    def test_ffn_size(self):
+        assert OPT_30B.ffn_size == 4 * 7168
+
+    def test_validate_tp_accepts_divisors(self):
+        OPT_30B.validate_tp(1)
+        OPT_30B.validate_tp(4)
+
+    def test_validate_tp_rejects_nondivisor(self):
+        with pytest.raises(PartitionError):
+            OPT_30B.validate_tp(3)  # 56 heads / 3
+
+    def test_validate_tp_rejects_nonpositive(self):
+        with pytest.raises(PartitionError):
+            OPT_30B.validate_tp(0)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelSpec(name="bad", num_layers=2, num_heads=3, hidden_size=100)
+
+    def test_scaled_layers_preserves_shape_scales_weights(self):
+        half = OPT_30B.scaled_layers(24)
+        assert half.num_layers == 24
+        assert half.hidden_size == OPT_30B.hidden_size
+        assert half.weight_bytes == pytest.approx(OPT_30B.weight_bytes / 2)
+
+    def test_kv_cache_bytes_scales_with_tp(self):
+        full = OPT_30B.kv_cache_bytes(32, 128, tp=1)
+        quarter = OPT_30B.kv_cache_bytes(32, 128, tp=4)
+        assert full == pytest.approx(4 * quarter)
+
+
+class TestPlacement:
+    """The paper's memory constraint: OPT-30B on V100; all models on A100."""
+
+    def test_opt30b_fits_v100_node(self):
+        check_placement(OPT_30B, v100_nvlink_node(4))
+
+    def test_opt66b_does_not_fit_v100_node(self):
+        with pytest.raises(PartitionError):
+            check_placement(OPT_66B, v100_nvlink_node(4))
+
+    def test_glm130b_does_not_fit_v100_node(self):
+        with pytest.raises(PartitionError):
+            check_placement(GLM_130B, v100_nvlink_node(4))
+
+    @pytest.mark.parametrize("model", [OPT_30B, OPT_66B, GLM_130B])
+    def test_all_models_fit_a100_node(self, model):
+        check_placement(model, a100_pcie_node(4))
+
+    def test_opt30b_fits_single_a100(self):
+        check_placement(OPT_30B, a100_pcie_node(1))
+
+    def test_unsharded_needs_full_replica(self):
+        with pytest.raises(PartitionError):
+            check_placement(OPT_30B, v100_nvlink_node(4), sharded=False)
+
+
+@given(
+    layers=st.integers(min_value=1, max_value=128),
+    heads=st.sampled_from([8, 16, 32, 64]),
+    head_dim=st.sampled_from([64, 128]),
+)
+@settings(max_examples=50, deadline=None)
+def test_spec_invariants(layers, heads, head_dim):
+    spec = ModelSpec(
+        name="gen", num_layers=layers, num_heads=heads, hidden_size=heads * head_dim
+    )
+    assert spec.head_dim == head_dim
+    assert spec.approx_params > 0
+    assert spec.weight_bytes == pytest.approx(2 * spec.approx_params)
+    # weights per device sum back to the total
+    assert spec.weight_bytes_per_device(4) * 4 == pytest.approx(spec.weight_bytes)

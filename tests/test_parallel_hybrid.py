@@ -1,0 +1,99 @@
+"""Tests for the hybrid tensor×pipeline strategy (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, PartitionError
+from repro.hw import a100_pcie_node, v100_nvlink_node
+from repro.models import OPT_30B
+from repro.parallel import HybridStrategy, InterOpStrategy, IntraOpStrategy
+from repro.serving import Server
+from repro.serving.workload import general_trace
+
+MODEL = OPT_30B.scaled_layers(8)
+NODE = v100_nvlink_node(4)
+
+
+def run(strategy, rate, n=24):
+    server = Server(MODEL, NODE, strategy, check_memory=False)
+    return server.run(general_trace(n, rate, 2, seed=5))
+
+
+class TestConstruction:
+    def test_default_factorisation_squarest(self):
+        s = HybridStrategy(MODEL, NODE)
+        assert s.tp == 2 and s.pp == 2
+
+    def test_explicit_tp(self):
+        s = HybridStrategy(MODEL, NODE, tp=4)
+        assert s.pp == 1
+        s = HybridStrategy(MODEL, NODE, pp=4)
+        assert s.tp == 1
+
+    def test_invalid_factorisation_rejected(self):
+        with pytest.raises(ConfigError):
+            HybridStrategy(MODEL, NODE, tp=3)
+
+    def test_tp_must_divide_heads(self):
+        from repro.models import ModelSpec
+
+        odd = ModelSpec(name="odd", num_layers=4, num_heads=6, hidden_size=768)
+        with pytest.raises(PartitionError):
+            HybridStrategy(odd, NODE, tp=4)  # 6 heads not divisible by 4
+
+    def test_stage_gpu_groups(self):
+        s = HybridStrategy(MODEL, NODE, tp=2)
+        assert s.stage_gpus(0) == [0, 1]
+        assert s.stage_gpus(1) == [2, 3]
+
+
+class TestServing:
+    def test_completes_all_requests(self):
+        result = run(HybridStrategy(MODEL, NODE), rate=30)
+        assert result.metrics.num_completed == 24
+
+    def test_tp4_pp1_matches_intra_op(self):
+        """With pp=1 the hybrid degenerates to pure tensor parallelism."""
+        hybrid = run(HybridStrategy(MODEL, NODE, tp=4), rate=30)
+        intra = run(IntraOpStrategy(MODEL, NODE), rate=30)
+        assert hybrid.avg_latency_ms == pytest.approx(
+            intra.avg_latency_ms, rel=0.02
+        )
+
+    def test_tp1_pp4_close_to_inter_op(self):
+        """With tp=1 the hybrid is a pure pipeline (boundary handling is a
+        per-rank transfer, so results track the Inter-Op baseline)."""
+        hybrid = run(HybridStrategy(MODEL, NODE, pp=4), rate=30)
+        inter = run(InterOpStrategy(MODEL, NODE), rate=30)
+        assert hybrid.avg_latency_ms == pytest.approx(
+            inter.avg_latency_ms, rel=0.10
+        )
+
+    def test_middle_ground_latency(self):
+        """tp2×pp2 latency lands between pure intra and pure pipeline at a
+        low rate (less comm than tp4, more stages than tp4)."""
+        rate = 10
+        intra = run(IntraOpStrategy(MODEL, NODE), rate=rate)
+        hybrid = run(HybridStrategy(MODEL, NODE, tp=2), rate=rate)
+        inter = run(InterOpStrategy(MODEL, NODE), rate=rate)
+        assert intra.avg_latency_ms < hybrid.avg_latency_ms < inter.avg_latency_ms
+
+    def test_throughput_beats_intra_at_saturation(self):
+        hybrid = run(HybridStrategy(MODEL, NODE, tp=2), rate=400, n=40)
+        intra = run(IntraOpStrategy(MODEL, NODE), rate=400, n=40)
+        assert hybrid.throughput > intra.throughput
+
+    def test_available_from_api(self):
+        from repro.serving.api import STRATEGIES, make_strategy
+
+        assert "hybrid" in STRATEGIES
+        strat = make_strategy("hybrid", MODEL, NODE, tp=2)
+        assert strat.tp == 2
+
+    def test_works_on_pcie_node(self):
+        node = a100_pcie_node(4)
+        strat = HybridStrategy(MODEL, node, tp=2)
+        server = Server(MODEL, node, strat, check_memory=False)
+        result = server.run(general_trace(8, 20.0, 2, seed=5))
+        assert result.metrics.num_completed == 8

@@ -1,0 +1,254 @@
+"""Tests for the serving layer: requests, arrivals, workloads, metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.serving import (
+    Batch,
+    BurstyProcess,
+    ConstantRate,
+    LatencyStats,
+    Phase,
+    PoissonProcess,
+    Request,
+    ServingMetrics,
+    TraceReplay,
+    general_trace,
+    generative_trace,
+    pack_batches,
+)
+from repro.units import seconds
+
+
+class TestRequestBatch:
+    def test_latency_requires_completion(self):
+        r = Request(rid=0, arrival=10.0, seq_len=8)
+        with pytest.raises(ConfigError):
+            _ = r.latency
+        r.completion = 30.0
+        assert r.latency == 20.0
+
+    def test_batch_padding_and_arrival(self):
+        reqs = [
+            Request(rid=0, arrival=5.0, seq_len=16),
+            Request(rid=1, arrival=9.0, seq_len=100),
+        ]
+        b = Batch(requests=reqs)
+        assert b.seq_len == 100
+        assert b.arrival == 9.0
+        assert b.size == 2
+
+    def test_batch_complete_stamps_all(self):
+        b = Batch(requests=[Request(rid=i, arrival=0.0, seq_len=8) for i in range(3)])
+        b.complete(77.0)
+        assert all(r.completion == 77.0 for r in b.requests)
+
+    def test_mixed_phase_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            Batch(
+                requests=[
+                    Request(rid=0, arrival=0.0, seq_len=8, phase=Phase.PREFILL),
+                    Request(rid=1, arrival=0.0, seq_len=1, phase=Phase.DECODE),
+                ]
+            )
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            Batch(requests=[])
+
+
+class TestArrivals:
+    def test_constant_rate_spacing(self):
+        times = ConstantRate(10.0).arrivals(3)
+        assert times == pytest.approx([1e5, 2e5, 3e5])
+
+    def test_poisson_mean_rate(self):
+        times = PoissonProcess(100.0, seed=1).arrivals(2000)
+        mean_gap = times[-1] / 2000
+        assert mean_gap == pytest.approx(seconds(1.0) / 100.0, rel=0.1)
+
+    def test_poisson_deterministic_by_seed(self):
+        a = PoissonProcess(10.0, seed=7).arrivals(50)
+        b = PoissonProcess(10.0, seed=7).arrivals(50)
+        assert a == b
+
+    def test_trace_replay_validation(self):
+        with pytest.raises(ConfigError):
+            TraceReplay([3.0, 1.0])
+        with pytest.raises(ConfigError):
+            TraceReplay([-1.0])
+        tr = TraceReplay([1.0, 2.0])
+        assert tr.arrivals(2) == [1.0, 2.0]
+        with pytest.raises(ConfigError):
+            tr.arrivals(3)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            ConstantRate(0.0)
+        with pytest.raises(ConfigError):
+            PoissonProcess(-1.0)
+
+    def test_bursty_mean_rate_preserved(self):
+        proc = BurstyProcess(50.0, burstiness=4.0, phase_requests=10)
+        times = proc.arrivals(1000)
+        measured = 1000 / (times[-1] / 1e6)
+        assert measured == pytest.approx(50.0, rel=0.05)
+
+    def test_bursty_alternates_phases(self):
+        proc = BurstyProcess(10.0, burstiness=4.0, phase_requests=4)
+        times = proc.arrivals(8)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # First phase is the burst (small gaps), second the lull.
+        assert max(gaps[:3]) < min(gaps[4:])
+
+    def test_bursty_validation(self):
+        with pytest.raises(ConfigError):
+            BurstyProcess(0.0)
+        with pytest.raises(ConfigError):
+            BurstyProcess(10.0, burstiness=1.0)
+        with pytest.raises(ConfigError):
+            BurstyProcess(10.0, phase_requests=0)
+
+    def test_bursty_monotone_sorted(self):
+        times = BurstyProcess(20.0, burstiness=3.0, phase_requests=5).arrivals(50)
+        assert times == sorted(times)
+
+
+class TestWorkloads:
+    def test_general_trace_shape(self):
+        batches = general_trace(20, 10.0, 4, seq_range=(16, 128), seed=3)
+        assert len(batches) == 5
+        assert all(b.size == 4 for b in batches)
+        for b in batches:
+            for r in b.requests:
+                assert 16 <= r.seq_len <= 128
+                assert r.phase is Phase.PREFILL
+
+    def test_general_trace_partial_tail_kept(self):
+        batches = general_trace(10, 10.0, 4)
+        assert [b.size for b in batches] == [4, 4, 2]
+
+    def test_general_trace_seeded(self):
+        a = general_trace(16, 5.0, 2, seed=9)
+        b = general_trace(16, 5.0, 2, seed=9)
+        assert [r.seq_len for x in a for r in x.requests] == [
+            r.seq_len for x in b for r in x.requests
+        ]
+
+    def test_generative_trace_shape(self):
+        batches = generative_trace(64, 100.0, batch_size=32, context_len=16)
+        assert len(batches) == 2
+        for b in batches:
+            assert b.phase is Phase.DECODE
+            assert b.context_len == 16
+            assert b.seq_len == 1
+
+    def test_bucketed_packing_groups_similar_lengths(self):
+        from repro.serving.workload import pack_batches_bucketed
+
+        reqs = [
+            Request(rid=i, arrival=float(i), seq_len=seq)
+            for i, seq in enumerate([16, 20, 120, 18, 124, 17])
+        ]
+        batches = pack_batches_bucketed(reqs, 3, bucket_width=32)
+        # Every request is served exactly once.
+        served = sorted(r.rid for b in batches for r in b.requests)
+        assert served == list(range(6))
+        # Padded work is lower than arrival-order packing.
+        plain = pack_batches(reqs, 3)
+        padded = lambda bs: sum(b.size * b.seq_len for b in bs)
+        assert padded(batches) < padded(plain)
+
+    def test_bucketed_packing_starvation_guard(self):
+        from repro.serving.workload import pack_batches_bucketed
+
+        # One lone long request followed by many short ones: the guard must
+        # flush it before the end.
+        reqs = [Request(rid=0, arrival=0.0, seq_len=128)] + [
+            Request(rid=i, arrival=float(i), seq_len=16) for i in range(1, 12)
+        ]
+        batches = pack_batches_bucketed(
+            reqs, 4, bucket_width=32, max_wait_requests=4
+        )
+        long_batch_index = next(
+            i for i, b in enumerate(batches) if any(r.rid == 0 for r in b.requests)
+        )
+        assert long_batch_index < len(batches) - 1
+
+    def test_bucketed_packing_validation(self):
+        from repro.serving.workload import pack_batches_bucketed
+
+        with pytest.raises(ConfigError):
+            pack_batches_bucketed([], 0)
+        with pytest.raises(ConfigError):
+            pack_batches_bucketed([], 2, bucket_width=0)
+
+    def test_pack_batches_orders_by_arrival(self):
+        reqs = [
+            Request(rid=0, arrival=30.0, seq_len=8),
+            Request(rid=1, arrival=10.0, seq_len=8),
+            Request(rid=2, arrival=20.0, seq_len=8),
+        ]
+        batches = pack_batches(reqs, 2)
+        assert [r.rid for r in batches[0].requests] == [1, 2]
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            general_trace(0, 1.0, 2)
+        with pytest.raises(ConfigError):
+            general_trace(4, 1.0, 0)
+        with pytest.raises(ConfigError):
+            general_trace(4, 1.0, 2, seq_range=(0, 10))
+        with pytest.raises(ConfigError):
+            generative_trace(4, 1.0, context_len=0)
+
+
+class TestMetrics:
+    def _completed(self, latencies_us, start=0.0, gap=1e4):
+        reqs = []
+        for i, lat in enumerate(latencies_us):
+            r = Request(rid=i, arrival=start + i * gap, seq_len=8)
+            r.completion = r.arrival + lat
+            reqs.append(r)
+        return reqs
+
+    def test_latency_stats(self):
+        m = ServingMetrics()
+        m.record(self._completed([1e4, 2e4, 3e4]))  # 10, 20, 30 ms
+        stats = m.latency_stats()
+        assert stats.mean == pytest.approx(20.0)
+        assert stats.p50 == pytest.approx(20.0)
+        assert stats.max == pytest.approx(30.0)
+
+    def test_throughput_span(self):
+        m = ServingMetrics()
+        reqs = self._completed([5e4] * 10, gap=1e5)  # one per 0.1s
+        m.record(reqs)
+        # span = last completion − first arrival = 9·0.1s + 0.05s
+        assert m.throughput() == pytest.approx(10 / 0.95, rel=1e-6)
+
+    def test_incomplete_request_rejected(self):
+        m = ServingMetrics()
+        with pytest.raises(ConfigError):
+            m.record([Request(rid=0, arrival=0.0, seq_len=8)])
+
+    def test_empty_metrics(self):
+        m = ServingMetrics()
+        assert m.throughput() == 0.0
+        with pytest.raises(ConfigError):
+            m.latency_stats()
+
+
+@given(
+    lat=st.lists(st.floats(min_value=1.0, max_value=1e7), min_size=1, max_size=60)
+)
+@settings(max_examples=50, deadline=None)
+def test_latency_stats_ordering_invariants(lat):
+    stats = LatencyStats.from_latencies_us(lat)
+    assert stats.p50 <= stats.p95 <= stats.p99 <= stats.max
+    eps = 1e-12  # float summation slack in the mean
+    assert min(lat) / 1e3 - eps <= stats.mean <= stats.max + eps

@@ -1,0 +1,100 @@
+"""Tests for the one-call serving API and the Server loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, PartitionError
+from repro.hw import v100_nvlink_node
+from repro.models import OPT_30B, OPT_66B
+from repro.parallel import IntraOpStrategy
+from repro.serving import Server
+from repro.serving.api import STRATEGIES, make_strategy, serve
+from repro.serving.workload import general_trace
+
+MODEL = OPT_30B.scaled_layers(6)
+NODE = v100_nvlink_node(4)
+
+
+class TestMakeStrategy:
+    def test_all_registered_strategies_constructible(self):
+        for name in STRATEGIES:
+            strat = make_strategy(name, MODEL, NODE)
+            assert strat.name == name
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            make_strategy("magic", MODEL, NODE)
+
+    def test_liger_gets_reduced_nccl_by_default(self):
+        liger = make_strategy("liger", MODEL, NODE)
+        intra = make_strategy("intra", MODEL, NODE)
+        assert liger.profiler.nccl.max_nchannels < intra.profiler.nccl.max_nchannels
+
+
+class TestServeApi:
+    def test_serve_general(self):
+        result = serve(
+            MODEL, NODE, strategy="intra", arrival_rate=20.0,
+            num_requests=8, batch_size=2, check_memory=False,
+        )
+        assert result.num_requests == 8
+        assert result.strategy == "intra"
+        assert "req/s" in result.summary()
+
+    def test_serve_generative(self):
+        result = serve(
+            MODEL, NODE, strategy="intra", workload="generative",
+            arrival_rate=500.0, num_requests=64, batch_size=32,
+            check_memory=False,
+        )
+        assert result.metrics.num_completed == 64
+
+    def test_serve_unknown_workload(self):
+        with pytest.raises(ConfigError):
+            serve(MODEL, NODE, workload="tpu", check_memory=False)
+
+    def test_memory_check_enforced(self):
+        # OPT-66B cannot be placed on the V100 node.
+        with pytest.raises(PartitionError):
+            serve(OPT_66B, NODE, strategy="intra", num_requests=4)
+
+    def test_trace_recorded_on_request(self):
+        result = serve(
+            MODEL, NODE, strategy="intra", arrival_rate=20.0,
+            num_requests=4, batch_size=2, record_trace=True, check_memory=False,
+        )
+        assert result.trace is not None
+        assert result.trace.rows
+
+
+class TestServer:
+    def test_rejects_mismatched_strategy(self):
+        strat = IntraOpStrategy(MODEL, NODE)
+        other = OPT_30B.scaled_layers(4)
+        with pytest.raises(ConfigError):
+            Server(other, NODE, strat, check_memory=False)
+
+    def test_rejects_empty_workload(self):
+        strat = IntraOpStrategy(MODEL, NODE)
+        server = Server(MODEL, NODE, strat, check_memory=False)
+        with pytest.raises(ConfigError):
+            server.run([])
+
+    def test_out_of_order_batches_sorted_by_arrival(self):
+        strat = IntraOpStrategy(MODEL, NODE)
+        server = Server(MODEL, NODE, strat, check_memory=False)
+        batches = general_trace(8, 20.0, 2, seed=0)
+        result = server.run(list(reversed(batches)))
+        assert result.metrics.num_completed == 8
+
+    def test_all_requests_complete_with_pending_time(self):
+        strat = IntraOpStrategy(MODEL, NODE)
+        server = Server(MODEL, NODE, strat, check_memory=False)
+        # Arrival rate far above capacity: later requests accumulate
+        # pending time but must still finish.
+        batches = general_trace(16, 10_000.0, 2, seed=0)
+        result = server.run(batches)
+        stats = result.latency_stats()
+        assert result.metrics.num_completed == 16
+        assert stats.max > stats.p50  # queueing visible in the tail

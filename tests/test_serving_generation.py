@@ -1,0 +1,142 @@
+"""Tests for multi-token generation serving: static vs continuous batching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw import v100_nvlink_node
+from repro.models import OPT_30B
+from repro.serving import (
+    ContinuousBatchingServer,
+    GenRequest,
+    StaticBatchingServer,
+    generation_workload,
+)
+from repro.serving.api import make_strategy
+
+MODEL = OPT_30B.scaled_layers(6)
+NODE = v100_nvlink_node(4)
+
+
+def workload(n=32, rate=300.0, gen_tokens=(4, 12), seed=7):
+    return generation_workload(
+        n, rate, context_len=16, gen_tokens=gen_tokens, seed=seed
+    )
+
+
+def run_server(server_cls, strategy_name="intra", n=32, rate=300.0, **kw):
+    strat = make_strategy(strategy_name, MODEL, NODE)
+    server = server_cls(MODEL, NODE, strat, check_memory=False, **kw)
+    return server, server.run(workload(n=n, rate=rate))
+
+
+class TestGenRequest:
+    def test_progress_tracking(self):
+        r = GenRequest(rid=0, arrival=0.0, context_len=16, gen_tokens=3)
+        assert not r.finished
+        assert r.current_context == 16
+        r.tokens_done = 2
+        assert r.current_context == 18
+        r.tokens_done = 3
+        assert r.finished
+
+    def test_as_request_snapshot(self):
+        r = GenRequest(rid=5, arrival=9.0, context_len=16, gen_tokens=4)
+        r.tokens_done = 1
+        req = r.as_request()
+        assert req.context_len == 17
+        assert req.seq_len == 1
+
+    def test_invalid_job_rejected(self):
+        with pytest.raises(ConfigError):
+            GenRequest(rid=0, arrival=0.0, context_len=0, gen_tokens=1)
+        with pytest.raises(ConfigError):
+            GenRequest(rid=0, arrival=0.0, context_len=16, gen_tokens=0)
+
+
+class TestWorkload:
+    def test_lengths_in_range_and_seeded(self):
+        a = workload(seed=1)
+        b = workload(seed=1)
+        assert [r.gen_tokens for r in a] == [r.gen_tokens for r in b]
+        assert all(4 <= r.gen_tokens <= 12 for r in a)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            generation_workload(0, 1.0)
+        with pytest.raises(ConfigError):
+            generation_workload(4, 1.0, gen_tokens=(0, 4))
+
+
+class TestStaticBatching:
+    def test_all_requests_complete(self):
+        server, result = run_server(StaticBatchingServer, batch_size=8)
+        assert result.metrics.num_completed == 32
+        assert "static" in result.strategy
+
+    def test_pads_to_longest_member(self):
+        server, _ = run_server(StaticBatchingServer, n=8, batch_size=8)
+        reqs = workload(n=8)
+        # one group of 8 → iterations = max gen_tokens; tokens = 8 × that.
+        assert server.total_tokens == 8 * max(r.gen_tokens for r in reqs)
+
+    def test_batch_members_released_together(self):
+        server, result = run_server(StaticBatchingServer, n=8, batch_size=8)
+        completions = {r.completion for r in result.metrics.completed}
+        assert len(completions) == 1
+
+
+class TestContinuousBatching:
+    def test_all_requests_complete(self):
+        server, result = run_server(ContinuousBatchingServer, max_batch=8)
+        assert result.metrics.num_completed == 32
+        assert "continuous" in result.strategy
+
+    def test_no_padding_waste(self):
+        server, _ = run_server(ContinuousBatchingServer, n=8, max_batch=8)
+        reqs = workload(n=8)
+        # exactly one iteration token per generated token
+        assert server.total_tokens == sum(r.gen_tokens for r in reqs)
+
+    def test_short_requests_finish_before_long_ones(self):
+        server, result = run_server(ContinuousBatchingServer, n=16, max_batch=16)
+        reqs = {r.rid: r for r in result.metrics.completed}
+        # seq_len of the proxy records gen_tokens; shorter jobs must not
+        # all finish last.
+        by_len = sorted(result.metrics.completed, key=lambda r: r.seq_len)
+        assert by_len[0].completion < by_len[-1].completion
+
+    def test_beats_static_latency_with_varied_lengths(self):
+        _, static = run_server(
+            StaticBatchingServer, strategy_name="intra", rate=400.0, batch_size=8
+        )
+        _, cont = run_server(
+            ContinuousBatchingServer, strategy_name="intra", rate=400.0, max_batch=8
+        )
+        assert cont.avg_latency_ms < static.avg_latency_ms
+
+    def test_liger_composes_with_continuous_batching(self):
+        _, intra = run_server(
+            ContinuousBatchingServer, strategy_name="intra", rate=900.0,
+            max_batch=8, pipeline_depth=3,
+        )
+        _, liger = run_server(
+            ContinuousBatchingServer, strategy_name="liger", rate=900.0,
+            max_batch=8, pipeline_depth=3,
+        )
+        assert liger.avg_latency_ms <= intra.avg_latency_ms * 1.02
+
+    def test_pipeline_depth_one_serializes(self):
+        server, result = run_server(
+            ContinuousBatchingServer, n=8, max_batch=4, pipeline_depth=1
+        )
+        assert result.metrics.num_completed == 8
+
+    def test_invalid_params(self):
+        strat = make_strategy("intra", MODEL, NODE)
+        with pytest.raises(ConfigError):
+            ContinuousBatchingServer(MODEL, NODE, strat, max_batch=0, check_memory=False)
+        strat2 = make_strategy("intra", MODEL, NODE)
+        with pytest.raises(ConfigError):
+            StaticBatchingServer(MODEL, NODE, strat2, batch_size=0, check_memory=False)
