@@ -52,4 +52,23 @@ def __getattr__(name):
         from repro import core
 
         return getattr(core, name)
+    if name in {
+        "FaultPlan",
+        "GpuStraggler",
+        "LinkDegradation",
+        "LaunchFailure",
+        "HostJitter",
+        "FaultInjector",
+        "Watchdog",
+        "ResilienceConfig",
+        "ResilienceReport",
+        "RecoveryManager",
+    }:
+        from repro import faults
+
+        return getattr(faults, name)
+    if name in {"FaultError", "RetryExhaustedError"}:
+        from repro import errors
+
+        return getattr(errors, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

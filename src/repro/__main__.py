@@ -7,8 +7,10 @@ Usage::
     python -m repro --model GLM-130B --node a100 --strategy intra \\
         --workload generative --rate 800 --requests 256 --batch 32
     python -m repro --strategy liger --rate 55 --gantt   # ASCII timeline
+    python -m repro faults --straggler 1:4.0:0:400       # fault injection
 
-For figure regeneration use ``python -m repro.experiments``.
+For figure regeneration use ``python -m repro.experiments``; for fault
+injection and recovery see ``python -m repro faults --help``.
 """
 
 from __future__ import annotations
@@ -22,6 +24,11 @@ from repro.serving.api import STRATEGIES, serve
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "faults":
+        from repro.faults.cli import main as faults_main
+
+        return faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Serve a large language model on a simulated multi-GPU node.",

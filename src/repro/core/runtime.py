@@ -104,6 +104,14 @@ class LigerRuntime:
         # Serving-side accounting hooks: (batch_id, n_kernels) / (batch_id, t).
         self._on_batch_launched = on_batch_launched or (lambda bid, n: None)
         self._on_batch_drained = on_batch_drained or (lambda bid: None)
+        #: Optional observer called as ``fn(round_index, expected_primary,
+        #: expected_secondary, window_us)`` right before a round's kernels are
+        #: issued.  When set, every launched kernel is additionally tagged
+        #: with ``meta["_round"]`` / ``meta["_subset"]`` so a completion
+        #: observer can reconstruct per-round subset end times — the
+        #: Principle-1 violation monitor (:mod:`repro.faults.monitor`) builds
+        #: on this.  ``None`` skips both the call and the tagging.
+        self.on_round_launched = None
 
     # ------------------------------------------------------------------
     # Entry point: a batch arrives
@@ -185,6 +193,19 @@ class LigerRuntime:
         ]
         self._account_launches(round_.subset0)
         self._account_launches(round_.subset1)
+
+        if self.on_round_launched is not None:
+            for which, kernel_maps in ((0, subset0_kernels), (1, subset1_kernels)):
+                for kernels in kernel_maps:
+                    for kern in kernels.values():
+                        kern.meta["_round"] = round_.index
+                        kern.meta["_subset"] = which
+            self.on_round_launched(
+                round_.index,
+                sum(len(k) for k in subset0_kernels),
+                sum(len(k) for k in subset1_kernels),
+                round_.window,
+            )
 
         # The paper launches the communication subset first.
         comm_first = round_.primary_kind is KernelKind.COMM

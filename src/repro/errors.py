@@ -18,6 +18,8 @@ __all__ = [
     "SchedulingError",
     "PartitionError",
     "ProfileMissingError",
+    "FaultError",
+    "RetryExhaustedError",
 ]
 
 
@@ -70,3 +72,21 @@ class PartitionError(ReproError, ValueError):
 
 class ProfileMissingError(ReproError, KeyError):
     """A kernel duration or contention factor was requested before profiling."""
+
+
+class FaultError(SimulationError):
+    """An injected fault fired on the path that observed it.
+
+    Raised by :meth:`repro.faults.injector.FaultInjector.check_launch` when a
+    transient launch-failure window is active — the simulated analogue of a
+    ``cudaErrorLaunchFailure`` that the retry layer is expected to absorb.
+    """
+
+
+class RetryExhaustedError(FaultError):
+    """A batch exhausted its retry budget against a persistent fault.
+
+    Raised by the recovery layer (:mod:`repro.faults.resilience`) when a batch
+    submission keeps hitting :class:`FaultError` past ``max_retries`` and the
+    configuration forbids shedding it.
+    """

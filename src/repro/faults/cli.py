@@ -1,0 +1,161 @@
+"""The ``faults`` CLI: serve a workload under injected faults.
+
+Usage::
+
+    python -m repro faults --model OPT-13B --node v100 --gpus 4 \\
+        --rate 40 --requests 32 --straggler 1:4.0:0:400
+    python -m repro faults --launch-fail 50:53 --link 0.3:0:300
+    python -m repro faults --straggler 1:3.0:0:400 --no-fallback
+
+Fault windows are given in **milliseconds** of simulated time (the serving
+run spans seconds); everything is converted to the simulator's microseconds
+internally.  Repeat a flag to inject several faults of the same kind.  The
+run prints the usual serving summary followed by the
+:class:`~repro.faults.resilience.ResilienceReport`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, plan_from_specs
+from repro.faults.resilience import ResilienceConfig
+from repro.hw.devices import TESTBEDS
+from repro.models.specs import MODELS
+from repro.serving.api import STRATEGIES, serve
+
+__all__ = ["build_plan", "main"]
+
+_MS = 1e3  # CLI windows are in ms; the simulator runs in µs.
+
+
+def _split(spec: str, n: int, flag: str) -> List[float]:
+    parts = spec.split(":")
+    if len(parts) != n:
+        raise ConfigError(
+            f"{flag} expects {n} colon-separated fields, got {spec!r}"
+        )
+    try:
+        return [float(p) for p in parts]
+    except ValueError as exc:
+        raise ConfigError(f"{flag}: non-numeric field in {spec!r}") from exc
+
+
+def build_plan(
+    stragglers: Sequence[str],
+    links: Sequence[str],
+    launch_fails: Sequence[str],
+    jitters: Sequence[str],
+) -> FaultPlan:
+    """Parse the CLI fault specs (windows in ms) into a :class:`FaultPlan`.
+
+    Spec formats — ``--straggler GPU:FACTOR:START:END``,
+    ``--link FRACTION:START:END``, ``--launch-fail START:END``,
+    ``--jitter AMPLITUDE_US:START:END``.
+    """
+    s_specs: List[Tuple[int, float, float, float]] = []
+    for spec in stragglers:
+        gpu, factor, start, end = _split(spec, 4, "--straggler")
+        s_specs.append((int(gpu), factor, start * _MS, end * _MS))
+    l_specs = []
+    for spec in links:
+        fraction, start, end = _split(spec, 3, "--link")
+        l_specs.append((fraction, start * _MS, end * _MS))
+    f_specs = []
+    for spec in launch_fails:
+        start, end = _split(spec, 2, "--launch-fail")
+        f_specs.append((start * _MS, end * _MS))
+    j_specs = []
+    for spec in jitters:
+        amplitude, start, end = _split(spec, 3, "--jitter")
+        j_specs.append((amplitude, start * _MS, end * _MS))
+    return plan_from_specs(
+        stragglers=s_specs,
+        links=l_specs,
+        launch_windows=f_specs,
+        jitters=j_specs,
+    )
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro faults``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description="Serve a workload under injected faults and report "
+        "the recovery layer's behaviour.",
+    )
+    parser.add_argument("--model", default="OPT-13B", choices=sorted(MODELS))
+    parser.add_argument("--node", default="v100", choices=sorted(TESTBEDS))
+    parser.add_argument("--gpus", type=int, default=4)
+    parser.add_argument("--strategy", default="liger", choices=STRATEGIES)
+    parser.add_argument("--workload", default="general",
+                        choices=("general", "generative"))
+    parser.add_argument("--rate", type=float, default=40.0,
+                        help="arrival rate (requests/second)")
+    parser.add_argument("--requests", type=int, default=32)
+    parser.add_argument("--batch", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--straggler", action="append", default=[],
+                        metavar="GPU:FACTOR:START:END",
+                        help="slow one GPU's compute kernels (window in ms)")
+    parser.add_argument("--link", action="append", default=[],
+                        metavar="FRACTION:START:END",
+                        help="degrade interconnect bandwidth (window in ms)")
+    parser.add_argument("--launch-fail", action="append", default=[],
+                        metavar="START:END",
+                        help="transient launch failures (window in ms)")
+    parser.add_argument("--jitter", action="append", default=[],
+                        metavar="AMPLITUDE_US:START:END",
+                        help="host launch jitter (amplitude in µs, window in ms)")
+    parser.add_argument("--violation-threshold", type=int, default=3,
+                        help="Principle-1 violations tolerated before downgrade")
+    parser.add_argument("--probe-ms", type=float, default=20.0,
+                        help="recovery probe period while degraded (ms)")
+    parser.add_argument("--max-retries", type=int, default=5)
+    parser.add_argument("--no-fallback", action="store_true",
+                        help="never downgrade the strategy")
+    parser.add_argument("--no-watchdog", action="store_true",
+                        help="disable the livelock watchdog")
+    args = parser.parse_args(argv)
+
+    try:
+        plan = build_plan(
+            args.straggler, args.link, args.launch_fail, args.jitter
+        )
+    except ConfigError as exc:
+        parser.error(str(exc))
+    config = ResilienceConfig(
+        violation_threshold=args.violation_threshold,
+        recovery_probe_us=args.probe_ms * _MS,
+        max_retries=args.max_retries,
+        enable_fallback=not args.no_fallback,
+        enable_watchdog=not args.no_watchdog,
+    )
+    result = serve(
+        MODELS[args.model],
+        TESTBEDS[args.node](args.gpus),
+        strategy=args.strategy,
+        workload=args.workload,
+        arrival_rate=args.rate,
+        num_requests=args.requests,
+        batch_size=args.batch,
+        seed=args.seed,
+        fault_plan=plan,
+        resilience=config,
+    )
+    print(result.summary())
+    stats = result.latency_stats()
+    print(
+        f"latency ms: mean={stats.mean:.1f} p50={stats.p50:.1f} "
+        f"p95={stats.p95:.1f} p99={stats.p99:.1f} max={stats.max:.1f}"
+    )
+    print()
+    print(result.resilience.describe())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    sys.exit(main())

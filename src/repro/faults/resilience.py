@@ -1,0 +1,401 @@
+"""Recovery policy: retry, shed, degrade, and re-probe.
+
+This module turns the raw fault machinery (:mod:`repro.faults.injector`,
+:mod:`repro.faults.watchdog`, :mod:`repro.faults.monitor`) into serving-level
+behaviour.  The :class:`RecoveryManager` sits between the server's arrival
+loop and the bound strategy and applies three policies:
+
+1. **Retry with exponential backoff** — a batch submission that hits an
+   injected :class:`~repro.errors.FaultError` (transient launch failure) is
+   re-attempted after ``retry_backoff_us · backoff_multiplier^attempt`` µs.
+   A batch that exhausts ``max_retries`` is *shed* (counted, dropped) or, if
+   shedding is disabled, surfaces as
+   :class:`~repro.errors.RetryExhaustedError`.
+2. **Graceful strategy degradation** — when the Principle-1 monitor counts
+   ``violation_threshold`` executed-round violations, interleaving is no
+   longer paying for itself: the manager *downgrades*, routing subsequent
+   batches to the plain intra-op fallback strategy (which shares the machine
+   but never overlaps, so a straggler merely slows it — it cannot break it).
+   In-flight interleaved batches drain normally.
+3. **Recovery probing** — while degraded, a heartbeat probes the fault plan
+   every ``recovery_probe_us`` µs; once no fault window is active the manager
+   *upgrades* back to the primary strategy and records the recovery time.
+
+Every decision is appended to the :class:`ResilienceReport`, the single
+artifact a post-mortem needs: strategy changes, retry/shed counts, violation
+and watchdog statistics, and the faults that were active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigError, FaultError, RetryExhaustedError
+from repro.faults.injector import FaultInjector
+from repro.faults.monitor import PrincipleMonitor
+from repro.faults.watchdog import Watchdog
+from repro.parallel.base import ParallelStrategy
+from repro.serving.request import Batch
+
+__all__ = [
+    "ResilienceConfig",
+    "StrategyChange",
+    "ResilienceReport",
+    "RecoveryManager",
+    "attach_recovery",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tunable knobs of the recovery policy (times in µs)."""
+
+    #: Executed-round Principle-1 violations tolerated before downgrading.
+    violation_threshold: int = 3
+    #: Secondary overshoot tolerated as a fraction of the round window.
+    margin_frac: float = 0.10
+    #: Absolute overshoot floor below which no violation is counted.
+    min_margin_us: float = 10.0
+    #: Probe period while degraded: how often to check whether faults cleared.
+    recovery_probe_us: float = 20_000.0
+    #: Launch retries per batch before shedding/raising.
+    max_retries: int = 5
+    #: First retry delay; grows by ``backoff_multiplier`` per attempt.
+    retry_backoff_us: float = 200.0
+    backoff_multiplier: float = 2.0
+    #: Shed a retry-exhausted batch (True) or raise RetryExhaustedError.
+    shed_on_exhaustion: bool = True
+    #: Arm the livelock watchdog for the run.
+    enable_watchdog: bool = True
+    watchdog_stall_us: float = 400_000.0
+    #: Heartbeat period; None → a quarter of the stall timeout.
+    watchdog_interval_us: Optional[float] = None
+    #: Allow downgrading to the fallback strategy at all.
+    enable_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.violation_threshold < 1:
+            raise ConfigError(
+                f"violation_threshold must be >= 1, got {self.violation_threshold}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_us <= 0 or self.backoff_multiplier < 1.0:
+            raise ConfigError("retry backoff must be > 0 with multiplier >= 1")
+        if self.recovery_probe_us <= 0:
+            raise ConfigError(
+                f"recovery_probe_us must be > 0, got {self.recovery_probe_us}"
+            )
+
+
+@dataclass(frozen=True)
+class StrategyChange:
+    """One recorded strategy transition (downgrade or upgrade)."""
+
+    kind: str  #: ``"downgrade"`` or ``"upgrade"``
+    time_us: float  #: simulation time of the transition
+    strategy: str  #: name of the strategy active *after* the change
+    reason: str  #: human-readable trigger
+
+    def describe(self) -> str:
+        """One-line rendering for the report."""
+        return f"t={self.time_us:.0f}us {self.kind} -> {self.strategy}: {self.reason}"
+
+
+@dataclass
+class ResilienceReport:
+    """What the recovery layer did during one serving run."""
+
+    faults: List[str] = field(default_factory=list)
+    changes: List[StrategyChange] = field(default_factory=list)
+    downgrades: int = 0
+    upgrades: int = 0
+    recovery_times_us: List[float] = field(default_factory=list)
+    retries: int = 0
+    shed_batches: List[int] = field(default_factory=list)
+    batches_on_fallback: int = 0
+    violations: int = 0
+    rounds_observed: int = 0
+    launch_attempts: int = 0
+    launch_failures: int = 0
+    jittered_commands: int = 0
+    watchdog_checks: int = 0
+    watchdog_tripped: bool = False
+
+    @property
+    def recovered(self) -> bool:
+        """True when every downgrade was followed by an upgrade."""
+        return self.downgrades > 0 and self.upgrades == self.downgrades
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = ["resilience report:"]
+        lines.append(
+            f"  faults injected: {', '.join(self.faults) if self.faults else 'none'}"
+        )
+        lines.append(
+            f"  principle-1: {self.violations} violation(s) over "
+            f"{self.rounds_observed} executed round(s)"
+        )
+        lines.append(
+            f"  strategy: {self.downgrades} downgrade(s), {self.upgrades} "
+            f"upgrade(s), {self.batches_on_fallback} batch(es) served on fallback"
+        )
+        for change in self.changes:
+            lines.append(f"    {change.describe()}")
+        for rt in self.recovery_times_us:
+            lines.append(f"  recovery time: {rt / 1e3:.1f} ms")
+        lines.append(
+            f"  launches: {self.launch_attempts} attempt(s), "
+            f"{self.launch_failures} injected failure(s), {self.retries} "
+            f"retr{'y' if self.retries == 1 else 'ies'}, "
+            f"{len(self.shed_batches)} shed batch(es)"
+        )
+        if self.jittered_commands:
+            lines.append(f"  host jitter: {self.jittered_commands} command(s) delayed")
+        lines.append(
+            f"  watchdog: {self.watchdog_checks} check(s), "
+            f"{'TRIPPED' if self.watchdog_tripped else 'clean'}"
+        )
+        return "\n".join(lines)
+
+
+class RecoveryManager:
+    """Routes submissions through retry/degradation policy for one server.
+
+    Parameters
+    ----------
+    injector:
+        Armed fault injector (its machine is the serving machine).
+    primary:
+        The bound strategy the server was configured with.
+    fallback:
+        Optional bound degradation target (plain intra-op).  ``None`` — or
+        ``enable_fallback=False`` — disables downgrading; violations are
+        still counted.
+    config:
+        Policy knobs; defaults are sized for the bundled scenarios.
+    metrics:
+        Optional :class:`~repro.serving.metrics.ServingMetrics` whose
+        ``retries``/``shed_requests`` counters are kept in sync.
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        primary: ParallelStrategy,
+        *,
+        fallback: Optional[ParallelStrategy] = None,
+        config: Optional[ResilienceConfig] = None,
+        metrics=None,
+    ) -> None:
+        self.config = config or ResilienceConfig()
+        self.injector = injector
+        self.primary = primary
+        self.fallback = fallback if self.config.enable_fallback else None
+        self.metrics = metrics
+        self.machine = injector._require_armed()
+        self.report = ResilienceReport(
+            faults=[f.describe() for f in injector.plan.faults]
+        )
+        self.degraded = False
+        self._degraded_since = 0.0
+        self._violations_since_ok = 0
+        self._finalized = False
+        #: Optional observer called with each shed batch — servers that keep
+        #: their own per-batch state (the lifecycle server) clean it up here.
+        self.on_shed = None
+        # Principle-1 monitoring needs the Liger runtime's round hook.
+        runtime = getattr(primary, "runtime", None)
+        self.monitor: Optional[PrincipleMonitor] = None
+        if runtime is not None:
+            self.monitor = PrincipleMonitor(
+                self.machine,
+                margin_frac=self.config.margin_frac,
+                min_margin=self.config.min_margin_us,
+                on_violation=self._on_violation,
+            )
+            self.monitor.attach(runtime)
+        self.watchdog: Optional[Watchdog] = None
+        if self.config.enable_watchdog:
+            self.watchdog = Watchdog(
+                self.machine,
+                stall_timeout=self.config.watchdog_stall_us,
+                interval=self.config.watchdog_interval_us,
+                context=self._watchdog_context,
+            )
+
+    # ------------------------------------------------------------------
+    # Server integration
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Start the watchdog heartbeat (call once work is scheduled)."""
+        if self.watchdog is not None:
+            self.watchdog.arm()
+
+    @property
+    def active_strategy(self) -> ParallelStrategy:
+        """The strategy new batches are currently routed to."""
+        if self.degraded and self.fallback is not None:
+            return self.fallback
+        return self.primary
+
+    def open_batch_ids(self) -> List[int]:
+        """Batch ids submitted but not yet completed (for diagnostics)."""
+        ids = set(self.primary.open_batch_ids())
+        if self.fallback is not None:
+            ids.update(self.fallback.open_batch_ids())
+        return sorted(ids)
+
+    def _watchdog_context(self) -> List[str]:
+        open_ids = self.open_batch_ids()
+        lines = [f"open batches: {open_ids if open_ids else 'none'}"]
+        active = self.injector.describe_active()
+        if active:
+            lines.append(f"active faults: {', '.join(active)}")
+        return lines
+
+    # ------------------------------------------------------------------
+    # Submission path: retry/backoff then route
+    # ------------------------------------------------------------------
+    def submit(self, batch: Batch) -> None:
+        """Submit ``batch`` under the retry/degradation policy."""
+        self._attempt(batch, 0)
+
+    def _attempt(self, batch: Batch, attempt: int) -> None:
+        try:
+            self.injector.check_launch(batch.batch_id)
+        except FaultError as exc:
+            self._on_launch_failure(batch, attempt, exc)
+            return
+        strategy = self.active_strategy
+        if strategy is not self.primary:
+            self.report.batches_on_fallback += 1
+        strategy.submit_batch(batch)
+
+    def _on_launch_failure(
+        self, batch: Batch, attempt: int, exc: FaultError
+    ) -> None:
+        cfg = self.config
+        if attempt >= cfg.max_retries:
+            if cfg.shed_on_exhaustion:
+                self._shed(batch)
+                return
+            raise RetryExhaustedError(
+                f"batch {batch.batch_id} failed to launch after "
+                f"{attempt + 1} attempt(s): {exc}"
+            ) from exc
+        delay = cfg.retry_backoff_us * (cfg.backoff_multiplier ** attempt)
+        self.report.retries += 1
+        if self.metrics is not None:
+            self.metrics.retries += 1
+        self.machine.engine.schedule(
+            delay, lambda: self._attempt(batch, attempt + 1), priority=10
+        )
+
+    def _shed(self, batch: Batch) -> None:
+        self.report.shed_batches.append(batch.batch_id)
+        if self.metrics is not None:
+            self.metrics.shed_requests += batch.size
+        if self.on_shed is not None:
+            self.on_shed(batch)
+
+    # ------------------------------------------------------------------
+    # Degradation and recovery
+    # ------------------------------------------------------------------
+    def _on_violation(self, round_index: int, overshoot: float, time: float) -> None:
+        self._violations_since_ok += 1
+        if self.degraded or self.fallback is None:
+            return
+        if self._violations_since_ok >= self.config.violation_threshold:
+            self._downgrade(
+                time,
+                f"round {round_index} secondary subset outlived its window by "
+                f"{overshoot:.0f}us ({self._violations_since_ok} violations)",
+            )
+
+    def _downgrade(self, time: float, reason: str) -> None:
+        assert self.fallback is not None
+        self.degraded = True
+        self._degraded_since = time
+        self._violations_since_ok = 0
+        self.report.downgrades += 1
+        self.report.changes.append(
+            StrategyChange("downgrade", time, self.fallback.name, reason)
+        )
+        self.machine.engine.heartbeat(
+            self.config.recovery_probe_us, self._probe, priority=8
+        )
+
+    def _probe(self) -> bool:
+        if not self.degraded:
+            return False
+        if self.injector.any_active():
+            return True
+        now = self.machine.engine.now
+        self.degraded = False
+        self.report.upgrades += 1
+        self.report.recovery_times_us.append(now - self._degraded_since)
+        self.report.changes.append(
+            StrategyChange(
+                "upgrade", now, self.primary.name, "no fault window active"
+            )
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> ResilienceReport:
+        """Fold the collaborators' counters into the report and return it."""
+        if not self._finalized:
+            self._finalized = True
+            if self.monitor is not None:
+                self.report.violations = self.monitor.violations
+                self.report.rounds_observed = self.monitor.rounds_observed
+            self.report.launch_attempts = self.injector.launch_attempts
+            self.report.launch_failures = self.injector.launch_failures
+            self.report.jittered_commands = self.injector.jittered_commands
+            if self.watchdog is not None:
+                self.report.watchdog_checks = self.watchdog.checks
+                self.report.watchdog_tripped = self.watchdog.tripped
+        return self.report
+
+
+def attach_recovery(
+    model,
+    node,
+    strategy: ParallelStrategy,
+    machine,
+    host,
+    *,
+    fault_plan=None,
+    config: Optional[ResilienceConfig] = None,
+    metrics=None,
+    complete_callback=None,
+) -> RecoveryManager:
+    """Build the full recovery stack around one bound strategy.
+
+    Arms a :class:`~repro.faults.injector.FaultInjector` on the machine
+    (wiring the strategy's collective cost model for link degradation) and —
+    when the strategy carries a Liger runtime and the config allows it —
+    binds a plain intra-op fallback on the *same* machine as the degradation
+    target.  The fallback shares the primary's profiler (one cost model to
+    degrade) and skips memory tracking, since the caller already accounts
+    for HBM.  Both servers route their construction through here.
+    """
+    from repro.parallel.intra_op import IntraOpStrategy
+
+    cfg = config or ResilienceConfig()
+    injector = FaultInjector(fault_plan)
+    injector.arm(machine, cost_models=[strategy.profiler.collectives])
+    fallback: Optional[ParallelStrategy] = None
+    if cfg.enable_fallback and getattr(strategy, "runtime", None) is not None:
+        fallback = IntraOpStrategy(
+            model, node, profiler=strategy.profiler, track_memory=False
+        )
+        fallback.bind(machine, host)
+        if complete_callback is not None:
+            fallback.on_batch_complete(complete_callback)
+    return RecoveryManager(
+        injector, strategy, fallback=fallback, config=cfg, metrics=metrics
+    )

@@ -256,6 +256,10 @@ class ParallelStrategy(abc.ABC):
     def inflight_batches(self) -> int:
         return len(self._open_batches)
 
+    def open_batch_ids(self) -> List[int]:
+        """Ids of batches submitted but not yet completed (diagnostics)."""
+        return sorted(self._open_batches)
+
     def _require_bound(self) -> Machine:
         if self.machine is None or self.host is None:
             raise ConfigError(f"strategy {self.name} used before bind()")

@@ -86,6 +86,8 @@ def serve(
     seed: int = 0,
     record_trace: bool = False,
     check_memory: bool = True,
+    fault_plan=None,
+    resilience=None,
     **strategy_kwargs,
 ) -> ServingResult:
     """Serve a synthetic workload and return latency/throughput metrics.
@@ -93,6 +95,12 @@ def serve(
     Parameters mirror the paper's experimental setup: ``workload="general"``
     gives the §4.2 random traces (seq 16–128), ``workload="generative"`` the
     §4.3 decode steps (context 16, batch 32 by default).
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) injects faults
+    into the run and arms the recovery layer; ``resilience`` (a
+    :class:`~repro.faults.resilience.ResilienceConfig`) tunes its policy.
+    When both are ``None`` no fault machinery is constructed and the run is
+    bit-identical to one without fault support.
     """
     strat = make_strategy(strategy, model, node, **strategy_kwargs)
     if workload == "general":
@@ -110,6 +118,12 @@ def serve(
     else:
         raise ConfigError(f"unknown workload {workload!r}")
     server = Server(
-        model, node, strat, record_trace=record_trace, check_memory=check_memory
+        model,
+        node,
+        strat,
+        record_trace=record_trace,
+        check_memory=check_memory,
+        fault_plan=fault_plan,
+        resilience=resilience,
     )
     return server.run(batches)

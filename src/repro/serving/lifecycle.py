@@ -23,11 +23,19 @@ first-token latency) and full completion latency; both are returned in the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeadlockError, SimulationError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.faults.plan import FaultPlan
+    from repro.faults.resilience import (
+        RecoveryManager,
+        ResilienceConfig,
+        ResilienceReport,
+    )
 from repro.models.partition import check_placement
 from repro.serving.arrival import ArrivalProcess, ConstantRate
 from repro.serving.metrics import LatencyStats
@@ -125,6 +133,10 @@ class LifecycleResult:
     tokens_generated: int
     tokens_per_second: float
     wall_events: int
+    #: Chats dropped by the recovery layer after retry exhaustion.
+    shed_requests: int = 0
+    #: Recovery-layer summary; ``None`` unless faults/resilience were enabled.
+    resilience: Optional["ResilienceReport"] = None
 
     def summary(self) -> str:
         """One-line human summary."""
@@ -151,6 +163,8 @@ class LifecycleServer:
         contention: Optional[ContentionModel] = None,
         record_trace: bool = False,
         check_memory: bool = True,
+        fault_plan: Optional["FaultPlan"] = None,
+        resilience: Optional["ResilienceConfig"] = None,
     ) -> None:
         if strategy.model is not model or strategy.node is not node:
             raise ConfigError("strategy was built for a different model/node")
@@ -184,7 +198,62 @@ class LifecycleServer:
         self._decode_inflight: Dict[int, List[ChatRequest]] = {}
         self._decode_busy: set = set()
         self._finished: List[ChatRequest] = []
+        self._shed: List[ChatRequest] = []
         self.tokens_generated = 0
+
+        self.recovery: Optional["RecoveryManager"] = None
+        if fault_plan is not None or resilience is not None:
+            from repro.faults.resilience import attach_recovery
+
+            self.recovery = attach_recovery(
+                model,
+                node,
+                strategy,
+                self.machine,
+                self.host,
+                fault_plan=fault_plan,
+                config=resilience,
+                complete_callback=self._on_batch_complete,
+            )
+            self.recovery.on_shed = self._on_shed
+
+    # ------------------------------------------------------------------
+    def _submit(self, batch: Batch) -> None:
+        """Hand one batch to the strategy (via recovery if armed)."""
+        if self.recovery is not None:
+            self.recovery.submit(batch)
+        else:
+            self.strategy.submit_batch(batch)
+
+    def _on_shed(self, batch: Batch) -> None:
+        """Clean up lifecycle state for a batch the recovery layer dropped.
+
+        A shed *prefill* abandons its chats (their KV reservations are
+        released and they count as shed requests); a shed *decode* iteration
+        returns its chats to the pool — continuous batching retries them on
+        the next round, by which time the fault window may have passed.
+        """
+        group = self._prefill_inflight.pop(batch.batch_id, None)
+        if group is not None:
+            for req in group:
+                self.memory.release(f"chat{req.rid}")
+                self._shed.append(req)
+            self._maybe_submit_prefill()
+            return
+        members = self._decode_inflight.pop(batch.batch_id, [])
+        # The members stay marked busy until one backoff period has passed:
+        # freeing them at this instant would let the submit loop rebuild the
+        # same batch and shed it again without simulated time advancing.
+        assert self.recovery is not None
+
+        def _requeue() -> None:
+            for req in members:
+                self._decode_busy.discard(req.rid)
+            self._maybe_submit_decode()
+
+        self.engine.schedule(
+            self.recovery.config.retry_backoff_us, _requeue, priority=10
+        )
 
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[ChatRequest]) -> LifecycleResult:
@@ -196,10 +265,24 @@ class LifecycleServer:
             self.engine.schedule_at(
                 r.arrival, lambda req=r: self._on_arrival(req), priority=10
             )
+        if self.recovery is not None:
+            self.recovery.arm()
         self.machine.run()
-        if len(self._finished) != len(ordered):
-            raise ConfigError(
+        if len(self._finished) + len(self._shed) != len(ordered):
+            # A run that returned without serving everything is a wedge, not
+            # a configuration mistake: name the batches that never drained.
+            open_ids = sorted(
+                set(self._prefill_inflight) | set(self._decode_inflight)
+            )
+            raise DeadlockError(
                 f"served {len(self._finished)} of {len(ordered)} requests"
+                f"{f' ({len(self._shed)} shed)' if self._shed else ''} — "
+                f"batches never completed: "
+                f"{open_ids if open_ids else 'none open (lost)'}"
+            )
+        if not self._finished:
+            raise SimulationError(
+                f"all {len(self._shed)} request(s) were shed; nothing completed"
             )
         first = min(r.arrival for r in self._finished)
         last = max(r.completion for r in self._finished)  # type: ignore[type-var]
@@ -215,6 +298,10 @@ class LifecycleServer:
             tokens_generated=self.tokens_generated,
             tokens_per_second=self.tokens_generated / us_to_s(last - first),
             wall_events=self.engine.events_processed,
+            shed_requests=len(self._shed),
+            resilience=(
+                self.recovery.finalize() if self.recovery is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -267,7 +354,7 @@ class LifecycleServer:
                 ]
             )
             self._prefill_inflight[batch.batch_id] = group
-            self.strategy.submit_batch(batch)
+            self._submit(batch)
 
     # ------------------------------------------------------------------
     # Decode path (continuous batching)
@@ -289,7 +376,7 @@ class LifecycleServer:
             )
             self._decode_inflight[batch.batch_id] = members
             self._decode_busy.update(r.rid for r in members)
-            self.strategy.submit_batch(batch)
+            self._submit(batch)
 
     # ------------------------------------------------------------------
     def _on_batch_complete(self, batch: Batch, time: float) -> None:

@@ -47,9 +47,17 @@ class LatencyStats:
 
 @dataclass
 class ServingMetrics:
-    """Accumulates completed requests and derives the paper's two metrics."""
+    """Accumulates completed requests and derives the paper's two metrics.
+
+    The recovery layer (:mod:`repro.faults.resilience`) additionally keeps
+    the ``retries``/``shed_requests`` counters in sync: launch retries
+    absorbed by backoff, and requests dropped after the retry budget ran
+    out.  Both stay 0 on fault-free runs.
+    """
 
     completed: List[Request] = field(default_factory=list)
+    retries: int = 0
+    shed_requests: int = 0
 
     def record(self, requests: Sequence[Request]) -> None:
         """Add completed requests to the tally (must carry completions)."""

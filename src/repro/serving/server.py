@@ -13,13 +13,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeadlockError
 from repro.hw.devices import NodeSpec
 from repro.models.partition import check_placement
 from repro.models.specs import ModelSpec
 from repro.serving.metrics import LatencyStats, ServingMetrics
 
 if TYPE_CHECKING:  # avoid a circular import; the server only type-hints it
+    from repro.faults.plan import FaultPlan
+    from repro.faults.resilience import (
+        RecoveryManager,
+        ResilienceConfig,
+        ResilienceReport,
+    )
     from repro.parallel.base import ParallelStrategy
 from repro.serving.request import Batch
 from repro.sim.contention import ContentionModel, default_contention_for
@@ -42,6 +48,8 @@ class ServingResult:
     metrics: ServingMetrics
     trace: Optional[Trace] = None
     wall_events: int = 0
+    #: Recovery-layer summary; ``None`` unless faults/resilience were enabled.
+    resilience: Optional["ResilienceReport"] = None
 
     @property
     def avg_latency_ms(self) -> float:
@@ -77,6 +85,8 @@ class Server:
         contention: Optional[ContentionModel] = None,
         record_trace: bool = True,
         check_memory: bool = True,
+        fault_plan: Optional["FaultPlan"] = None,
+        resilience: Optional["ResilienceConfig"] = None,
     ) -> None:
         if strategy.model is not model or strategy.node is not node:
             raise ConfigError("strategy was built for a different model/node")
@@ -97,11 +107,44 @@ class Server:
         self.metrics = ServingMetrics()
         strategy.bind(self.machine, self.host)
         strategy.on_batch_complete(self._on_batch_complete)
+        self.recovery: Optional["RecoveryManager"] = None
+        if fault_plan is not None or resilience is not None:
+            self._init_recovery(fault_plan, resilience)
+
+    def _init_recovery(self, fault_plan, resilience) -> None:
+        """Arm the fault injector and recovery policy around the strategy.
+
+        Only reached when faults/resilience were requested: a plain server
+        leaves every fault hook unset, so fault support is zero-cost — the
+        timeline is bit-identical to a build without this subsystem.
+        """
+        # Imported lazily: repro.faults pulls in the parallel strategies,
+        # which import this module for type context.
+        from repro.faults.resilience import attach_recovery
+
+        self.recovery = attach_recovery(
+            self.model,
+            self.node,
+            self.strategy,
+            self.machine,
+            self.host,
+            fault_plan=fault_plan,
+            config=resilience,
+            metrics=self.metrics,
+            complete_callback=self._on_batch_complete,
+        )
 
     # ------------------------------------------------------------------
     def _on_batch_complete(self, batch: Batch, time: float) -> None:
         batch.complete(time)
         self.metrics.record(batch.requests)
+
+    def _submit(self, batch: Batch) -> None:
+        """Hand one arrived batch to the strategy (via recovery if armed)."""
+        if self.recovery is not None:
+            self.recovery.submit(batch)
+        else:
+            self.strategy.submit_batch(batch)
 
     def run(self, batches: Sequence[Batch]) -> ServingResult:
         """Serve ``batches`` to completion and return metrics."""
@@ -111,15 +154,25 @@ class Server:
         for batch in ordered:
             self.engine.schedule_at(
                 batch.arrival,
-                lambda b=batch: self.strategy.submit_batch(b),
+                lambda b=batch: self._submit(b),
                 priority=10,  # arrivals fire after same-time device events
             )
+        if self.recovery is not None:
+            self.recovery.arm()
         self.machine.run()
         expected = sum(b.size for b in ordered)
-        if self.metrics.num_completed != expected:
-            raise ConfigError(
-                f"served {self.metrics.num_completed} of {expected} requests — "
-                "a batch never completed"
+        shed = self.metrics.shed_requests
+        if self.metrics.num_completed + shed != expected:
+            # A simulation that returned without serving everything is a
+            # wedge, not a configuration mistake: name the stuck batches.
+            if self.recovery is not None:
+                open_ids = self.recovery.open_batch_ids()
+            else:
+                open_ids = self.strategy.open_batch_ids()
+            raise DeadlockError(
+                f"served {self.metrics.num_completed} of {expected} requests"
+                f"{f' ({shed} shed)' if shed else ''} — batches never "
+                f"completed: {open_ids if open_ids else 'none open (lost)'}"
             )
         return ServingResult(
             strategy=self.strategy.name,
@@ -129,4 +182,7 @@ class Server:
             metrics=self.metrics,
             trace=self.trace,
             wall_events=self.engine.events_processed,
+            resilience=(
+                self.recovery.finalize() if self.recovery is not None else None
+            ),
         )

@@ -103,6 +103,34 @@ class Engine:
         heapq.heappush(self._heap, entry)
         return handle
 
+    def heartbeat(
+        self,
+        interval: float,
+        fn: Callable[[], Optional[bool]],
+        *,
+        priority: int = 9,
+    ) -> None:
+        """Invoke ``fn`` every ``interval`` µs while other live events remain.
+
+        The periodic hook the fault subsystem builds on (watchdog checks,
+        recovery probes).  ``fn`` returning ``False`` stops the beat; any
+        other return value continues it.  A beat never keeps an otherwise
+        idle engine alive: when the queue holds no live event besides the
+        beat itself, the beat is not rescheduled and the run quiesces —
+        a heartbeat can therefore never turn a finite simulation into an
+        infinite one.
+        """
+        if not math.isfinite(interval) or interval <= 0:
+            raise SimulationError(f"heartbeat interval must be positive, got {interval}")
+
+        def _beat() -> None:
+            if fn() is False:
+                return
+            if self.pending > 0:
+                self.schedule(interval, _beat, priority=priority)
+
+        self.schedule(interval, _beat, priority=priority)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

@@ -169,6 +169,10 @@ class Machine:
         #: visibility delay (µs).
         self.max_connections = max_connections
         self.connection_contention_delay = connection_contention_delay
+        #: Optional fault-injection hook (see :mod:`repro.faults.injector`).
+        #: When None — the default — every fault code path is skipped and the
+        #: machine behaves bit-for-bit like a fault-free build.
+        self.fault_injector = None
         self.gpus: List[Gpu] = [Gpu(i, self) for i in range(node.num_gpus)]
         self._collectives: Dict[int, _CollectiveRun] = {}
         self._last_bank_time = 0.0
@@ -205,6 +209,10 @@ class Machine:
         busy = [s for s in gpu.streams if not s.idle or s is stream]
         if stream in busy and busy.index(stream) >= self.max_connections:
             command.available_at += self.connection_contention_delay
+        if stream.visibility_penalty:
+            command.available_at += stream.visibility_penalty
+        if self.fault_injector is not None:
+            command.available_at += self.fault_injector.submit_delay(stream)
         stream.enqueue(command)
         delay = max(0.0, command.available_at - self.engine.now)
         self._schedule_pump(stream.gpu_id, delay)
@@ -237,20 +245,28 @@ class Machine:
         """Drive the engine; verify no stranded work unless ``until`` given."""
         end = self.engine.run(until=until)
         if check_quiescent and until is None:
-            stuck = [
-                repr(s)
-                for g in self.gpus
-                for s in g.streams
-                if not s.idle
-            ]
-            stuck += [
-                f"ready:{rs.kernel.name}" for g in self.gpus for rs in g.ready
-            ]
+            stuck = self.stuck_summary()
             if stuck:
                 raise DeadlockError(
                     "simulation quiesced with pending work: " + "; ".join(stuck[:8])
                 )
         return end
+
+    def stuck_summary(self) -> List[str]:
+        """Describe every piece of work currently unable to make progress.
+
+        Used by the quiescence check above and by the fault subsystem's
+        watchdog to name the stuck streams/kernels in its diagnostics.
+        """
+        stuck = [repr(s) for g in self.gpus for s in g.streams if not s.idle]
+        stuck += [f"ready:{rs.kernel.name}" for g in self.gpus for rs in g.ready]
+        for crun in self._collectives.values():
+            if not crun.started:
+                missing = sorted(set(crun.op.participants) - set(crun.members))
+                stuck.append(
+                    f"collective:{crun.op.name} awaiting ranks {missing}"
+                )
+        return stuck
 
     # ------------------------------------------------------------------
     # Pumping: advance stream heads into the ready set
@@ -418,16 +434,32 @@ class Machine:
             if gpu.resident:
                 per_kernel.update(self.contention.slowdowns(gpu.resident_kernels()))
         locals_, colls = self._active_items()
+        inj = self.fault_injector
         # Clamp: a contention model may never accelerate kernels (< 1.0
         # would break work conservation) — defend against custom models.
         for rs in locals_:
-            rs.slowdown = max(1.0, per_kernel.get(rs.kernel.uid, 1.0))
+            slow = max(1.0, per_kernel.get(rs.kernel.uid, 1.0))
+            if inj is not None:
+                slow *= inj.kernel_inflation(rs.kernel, rs.gpu_id)
+            rs.slowdown = slow
         for crun in colls:
             member_slow = [
                 max(1.0, per_kernel.get(rs.kernel.uid, 1.0))
-                for rs in crun.members.values()
+                * (1.0 if inj is None else inj.kernel_inflation(rs.kernel, gid))
+                for gid, rs in crun.members.items()
             ]
             crun.slowdown = max(member_slow) if member_slow else 1.0
+
+    def refresh_rates(self) -> None:
+        """Re-bank progress and recompute slowdowns at the current instant.
+
+        The fault injector calls this at every fault-window boundary so that
+        elapsed progress is banked at the *old* rates before the new
+        inflation factors apply — the same piecewise integration contract the
+        contention model relies on.
+        """
+        self._bank_progress()
+        self._reschedule()
 
     def _reschedule(self) -> None:
         """Recompute rates and (re)arm the single completion timer."""

@@ -22,7 +22,7 @@ GEMM co-resident at all under the left-over policy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.hw.topology import Topology
@@ -90,6 +90,22 @@ class CollectiveCostModel:
     def __init__(self, topology: Topology, nccl: Optional[NcclConfig] = None) -> None:
         self.topology = topology
         self.nccl = nccl or NcclConfig()
+        #: Optional hook returning the *currently achievable* fraction of the
+        #: nominal link bandwidth (0 < f ≤ 1).  Fault injection wires this to
+        #: the active :class:`~repro.faults.plan.FaultPlan` so collectives
+        #: issued during a degraded-interconnect window are costed at the
+        #: reduced bandwidth.  ``None`` (the default) means healthy links and
+        #: is bit-exact with the unhooked cost model.
+        self.bandwidth_scale: Optional[Callable[[], float]] = None
+
+    def _link_health(self) -> float:
+        """Current bandwidth fraction from the fault hook (1.0 when healthy)."""
+        if self.bandwidth_scale is None:
+            return 1.0
+        scale = self.bandwidth_scale()
+        if not 0.0 < scale <= 1.0:
+            raise ConfigError(f"bandwidth_scale hook returned {scale}, not in (0, 1]")
+        return scale
 
     # ------------------------------------------------------------------
     # Durations
@@ -101,7 +117,11 @@ class CollectiveCostModel:
         p = len(participants)
         if p <= 1:
             return 0.0
-        bw = self.topology.allreduce_bus_bandwidth * self.nccl.bandwidth_fraction
+        bw = (
+            self.topology.allreduce_bus_bandwidth
+            * self.nccl.bandwidth_fraction
+            * self._link_health()
+        )
         hop_latency = self._ring_hop_latency(participants)
         steps = 2 * (p - 1)
         transfer_us = (2.0 * (p - 1) / p) * size_bytes / bw * 1e6
@@ -113,7 +133,11 @@ class CollectiveCostModel:
             raise ConfigError("p2p size must be >= 0")
         if src == dst:
             return 0.0
-        bw = self.topology.p2p_bandwidth(src, dst) * self.nccl.bandwidth_fraction
+        bw = (
+            self.topology.p2p_bandwidth(src, dst)
+            * self.nccl.bandwidth_fraction
+            * self._link_health()
+        )
         latency = self.topology.p2p_latency(src, dst)
         return self.nccl.min_latency + latency + size_bytes / bw * 1e6
 

@@ -82,6 +82,11 @@ class Stream:
         self.running_kernel: Optional[Kernel] = None
         # Monotone count of fully retired commands (for tests/metrics).
         self.retired = 0
+        #: Extra per-command visibility delay (µs) added by the machine when
+        #: commands are submitted to this stream.  Fault injection raises it
+        #: for the window of a degraded-host fault; 0.0 (the default) is
+        #: bit-exact with no delay at all.
+        self.visibility_penalty: float = 0.0
 
     # ------------------------------------------------------------------
     def enqueue(self, command: Command) -> None:

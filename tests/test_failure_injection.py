@@ -4,10 +4,16 @@ Injects the classes of faults a scheduling runtime meets in practice —
 mis-specified contention models, dependency cycles, ranks that never show
 up, double submissions, memory exhaustion — and checks each is either
 contained (clamped / rolled back) or raised as the specific typed error.
+
+The second half exercises the declarative fault-injection subsystem
+(:mod:`repro.faults`): randomized fault plans must always terminate, and a
+straggler that breaks Principle 1 must trigger exactly one recorded strategy
+downgrade followed by recovery.
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import (
@@ -128,3 +134,221 @@ class TestServingFaults:
         )
         with pytest.raises(OutOfMemoryError):
             server.run([huge])
+
+
+# ----------------------------------------------------------------------
+# Declarative fault injection (repro.faults)
+# ----------------------------------------------------------------------
+
+def _serve_under_faults(plan, *, strategy="liger", resilience=None, seed=1):
+    from repro.models.specs import OPT_13B
+    from repro.serving.api import serve
+
+    return serve(
+        model=OPT_13B,
+        node=v100_nvlink_node(4),
+        strategy=strategy,
+        arrival_rate=40.0,
+        num_requests=32,
+        batch_size=2,
+        seed=seed,
+        fault_plan=plan,
+        resilience=resilience,
+    )
+
+
+def _random_plan(rng):
+    """A random-but-valid plan over the first ~0.8 s of the run."""
+    from repro.faults.plan import (
+        FaultPlan,
+        GpuStraggler,
+        HostJitter,
+        LaunchFailure,
+        LinkDegradation,
+    )
+
+    faults = []
+    for _ in range(rng.integers(1, 4)):
+        kind = rng.integers(0, 4)
+        start = float(rng.uniform(0, 600_000))
+        end = start + float(rng.uniform(1_000, 200_000))
+        if kind == 0:
+            faults.append(
+                GpuStraggler(
+                    start=start, end=end,
+                    gpu=int(rng.integers(0, 4)),
+                    factor=float(rng.uniform(1.5, 6.0)),
+                )
+            )
+        elif kind == 1:
+            faults.append(
+                LinkDegradation(
+                    start=start, end=end,
+                    fraction=float(rng.uniform(0.2, 0.9)),
+                )
+            )
+        elif kind == 2:
+            # Keep failure windows shorter than the retry budget most of
+            # the time; longer windows exercise shedding, also legal.
+            faults.append(LaunchFailure(start=start, end=start + 4_000.0))
+        else:
+            faults.append(
+                HostJitter(
+                    start=start, end=end,
+                    amplitude=float(rng.uniform(1.0, 10.0)),
+                )
+            )
+    return FaultPlan(faults)
+
+
+class TestRandomizedFaultPlans:
+    """Whatever the plan, the engine terminates and accounts for every request."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_plan_always_terminates(self, seed):
+        rng = np.random.default_rng(seed)
+        plan = _random_plan(rng)
+        result = _serve_under_faults(plan)
+        report = result.resilience
+        assert report is not None
+        # Every request is either served or explicitly shed — none lost.
+        assert result.metrics.num_completed + result.metrics.shed_requests == 32
+        assert not report.watchdog_tripped
+        # Downgrades and upgrades come in pairs or end degraded — never more
+        # upgrades than downgrades.
+        assert report.upgrades <= report.downgrades
+
+    def test_random_plans_are_deterministic(self):
+        rng = np.random.default_rng(7)
+        plan = _random_plan(rng)
+        a = _serve_under_faults(plan)
+        b = _serve_under_faults(plan)
+        assert [
+            (r.rid, r.completion) for r in a.metrics.completed
+        ] == [(r.rid, r.completion) for r in b.metrics.completed]
+
+
+class TestGracefulDegradation:
+    """A straggler breaks Principle 1 → one downgrade, then recovery."""
+
+    STRAGGLER = dict(start=0.0, end=400_000.0, gpu=1, factor=4.0)
+
+    def test_straggler_triggers_exactly_one_downgrade_and_recovery(self):
+        from repro.faults.plan import FaultPlan, GpuStraggler
+
+        plan = FaultPlan([GpuStraggler(**self.STRAGGLER)])
+        result = _serve_under_faults(plan)
+        report = result.resilience
+        # All requests served despite the fault — no wedge, no crash.
+        assert result.metrics.num_completed == 32
+        assert report.violations >= 1
+        assert report.downgrades == 1
+        assert report.upgrades == 1
+        assert report.recovered
+        assert len(report.recovery_times_us) == 1
+        assert report.recovery_times_us[0] > 0
+        # The downgrade actually routed work to the fallback strategy.
+        assert report.batches_on_fallback >= 1
+        kinds = [c.kind for c in report.changes]
+        assert kinds == ["downgrade", "upgrade"]
+
+    def test_clean_run_never_downgrades(self):
+        from repro.faults.plan import FaultPlan
+
+        result = _serve_under_faults(FaultPlan())
+        report = result.resilience
+        assert report.violations == 0
+        assert report.downgrades == 0
+        assert report.rounds_observed > 0
+
+    def test_no_fallback_counts_violations_without_downgrading(self):
+        from repro.faults.plan import FaultPlan, GpuStraggler
+        from repro.faults.resilience import ResilienceConfig
+
+        plan = FaultPlan([GpuStraggler(**self.STRAGGLER)])
+        result = _serve_under_faults(
+            plan, resilience=ResilienceConfig(enable_fallback=False)
+        )
+        report = result.resilience
+        assert report.violations >= 1
+        assert report.downgrades == 0
+        assert result.metrics.num_completed == 32
+
+
+class TestEmptyPlanIsFree:
+    """The armed recovery stack with no faults must not perturb the timeline."""
+
+    def test_empty_plan_reproduces_plain_run_bit_for_bit(self):
+        from repro.faults.plan import FaultPlan
+        from repro.models.specs import OPT_13B
+        from repro.serving.api import serve
+
+        kw = dict(
+            model=OPT_13B, node=v100_nvlink_node(4), strategy="liger",
+            arrival_rate=40.0, num_requests=32, batch_size=2, seed=1,
+        )
+        plain = serve(**kw)
+        armed = serve(**kw, fault_plan=FaultPlan())
+        assert [
+            (r.rid, r.arrival, r.completion) for r in plain.metrics.completed
+        ] == [(r.rid, r.arrival, r.completion) for r in armed.metrics.completed]
+        assert plain.resilience is None
+        assert armed.resilience is not None
+
+
+class TestRetryAndShed:
+    """Transient launch failures are retried; persistent ones shed or raise."""
+
+    def test_short_window_absorbed_by_retries(self):
+        from repro.faults.plan import FaultPlan, LaunchFailure
+
+        plan = FaultPlan([LaunchFailure(start=50_000.0, end=53_000.0)])
+        result = _serve_under_faults(plan)
+        assert result.metrics.retries >= 1
+        assert result.metrics.shed_requests == 0
+        assert result.metrics.num_completed == 32
+
+    def test_long_window_sheds_and_names_the_batch(self):
+        from repro.faults.plan import FaultPlan, LaunchFailure
+
+        plan = FaultPlan([LaunchFailure(start=50_000.0, end=80_000.0)])
+        result = _serve_under_faults(plan)
+        assert result.metrics.shed_requests > 0
+        assert result.resilience.shed_batches
+        assert (
+            result.metrics.num_completed + result.metrics.shed_requests == 32
+        )
+
+    def test_shedding_disabled_raises_retry_exhausted(self):
+        from repro.errors import RetryExhaustedError
+        from repro.faults.plan import FaultPlan, LaunchFailure
+        from repro.faults.resilience import ResilienceConfig
+
+        plan = FaultPlan([LaunchFailure(start=50_000.0, end=80_000.0)])
+        with pytest.raises(RetryExhaustedError):
+            _serve_under_faults(
+                plan, resilience=ResilienceConfig(shed_on_exhaustion=False)
+            )
+
+
+class TestIncompleteRunDiagnostics:
+    def test_unserved_batches_raise_deadlock_naming_them(self):
+        """A run that returns with open batches reports them as a wedge."""
+        from repro.models import OPT_30B
+        from repro.parallel import IntraOpStrategy
+        from repro.serving import Server
+        from repro.serving.workload import general_trace
+
+        model = OPT_30B.scaled_layers(4)
+        node = v100_nvlink_node(4)
+        strat = IntraOpStrategy(model, node)
+        server = Server(model, node, strat, check_memory=False)
+        batches = general_trace(4, 50.0, 2, seed=0)
+        # Sabotage: swallow one batch so it never reaches the machine.
+        real_submit = strat.submit_batch
+        strat.submit_batch = (
+            lambda b: None if b.batch_id == batches[1].batch_id
+            else real_submit(b)
+        )
+        with pytest.raises(DeadlockError, match="never completed"):
+            server.run(batches)
