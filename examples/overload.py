@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Overload protection: graceful degradation under a 2× burst vs collapse.
+
+Serves decode-heavy bursty traffic at roughly twice the sustainable rate
+through a scaled OPT-30B on a simulated 4×V100 node, twice:
+
+1. **unprotected** — the classic unbounded queue.  Every request is
+   eventually served, so throughput looks healthy, but queueing delay
+   compounds across the burst and tail latency collapses.
+2. **protected** — `OverloadConfig` arms a bounded admission queue
+   (shed-oldest), a 100 ms deadline on every request, and KV-cache
+   accounting.  The server refuses what it cannot serve on time; what it
+   does serve stays fast.
+
+The run asserts the trade explicitly: the protected server sheds real work
+*and* beats the unprotected server on both mean and p99 latency, while its
+pending queue and per-GPU KV usage stay within their configured bounds.
+
+Run:
+    python examples/overload.py
+"""
+
+from repro import OverloadConfig, v100_nvlink_node
+from repro.models import OPT_30B
+from repro.serving import BurstyProcess, Server
+from repro.serving.api import make_strategy
+from repro.serving.workload import generative_trace
+
+MODEL = OPT_30B.scaled_layers(6)
+NODE = v100_nvlink_node(4)
+N = 512
+
+
+def overloaded_trace():
+    # Batch-8 decode steps over a 256-token context at a 4000 req/s mean
+    # rate, arriving in 6×-rate bursts: ~2× what the node can sustain.
+    return generative_trace(
+        N, 4000.0, batch_size=8, context_len=256, seed=0,
+        arrival=BurstyProcess(4000.0, burstiness=6.0, phase_requests=64),
+    )
+
+
+def run(overload):
+    strategy = make_strategy("intra", MODEL, NODE)
+    server = Server(
+        MODEL, NODE, strategy,
+        check_memory=False, record_trace=False, overload=overload,
+    )
+    return server.run(overloaded_trace())
+
+
+def main() -> None:
+    print(f"Serving {N} bursty decode requests on {NODE.name} "
+          f"({NODE.num_gpus} GPUs), ~2x the sustainable rate\n")
+
+    unprotected = run(None)
+    u = unprotected.latency_stats()
+    print(f"unprotected: {unprotected.metrics.num_completed}/{N} served, "
+          f"mean {u.mean:.1f} ms, p99 {u.p99:.1f} ms "
+          "(unbounded queue: nothing refused, everything late)")
+
+    cfg = OverloadConfig(
+        max_pending_requests=32,
+        policy="shed-oldest",
+        default_deadline_us=100_000.0,  # 100 ms SLO
+    )
+    protected = run(cfg)
+    p = protected.latency_stats()
+    m = protected.metrics
+    rpt = protected.overload
+    print(f"protected:   {m.num_completed}/{N} served, "
+          f"mean {p.mean:.1f} ms, p99 {p.p99:.1f} ms "
+          f"({m.shed_requests} shed, {m.timed_out_requests} timed out)")
+    print()
+    print(rpt.describe())
+
+    att = m.slo_attainment()
+    assert m.num_terminal == N, "every request must reach a terminal state"
+    assert m.shed_requests > 0, "an overloaded server must refuse work"
+    assert p.p99 < u.p99 and p.mean < u.mean, \
+        "admission control must beat the unbounded queue on served latency"
+    assert rpt.peak_pending_requests <= cfg.max_pending_requests
+    assert rpt.peak_kv_bytes <= rpt.kv_capacity_bytes
+    print(
+        f"\nThe protected server refused {m.shed_requests + m.timed_out_requests} "
+        f"request(s) it could not serve on time and kept p99 at "
+        f"{p.p99:.1f} ms vs {u.p99:.1f} ms unprotected "
+        f"(SLO attainment {att:.0%}) — graceful degradation instead of "
+        "collapse."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -48,6 +48,17 @@ def __getattr__(name):
         from repro.serving import api
 
         return getattr(api, name)
+    if name in {
+        "AdmissionPolicy",
+        "OverloadConfig",
+        "OverloadController",
+        "OverloadReport",
+        "KVCacheAccountant",
+        "RequestState",
+    }:
+        from repro import serving
+
+        return getattr(serving, name)
     if name in {"LigerConfig", "LigerRuntime"}:
         from repro import core
 

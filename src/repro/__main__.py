@@ -48,11 +48,40 @@ def main(argv=None) -> int:
                         help="print an ASCII timeline of GPU 0")
     parser.add_argument("--chrome-trace", metavar="PATH",
                         help="write a Chrome trace JSON of the run")
+    overload_group = parser.add_argument_group("overload protection")
+    overload_group.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="enable admission control with a pending queue of N requests")
+    overload_group.add_argument(
+        "--admission", default="reject",
+        choices=("reject", "shed-oldest", "shed-by-deadline"),
+        help="policy when the pending queue is full (with --max-pending)")
+    overload_group.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline in milliseconds after arrival")
+    overload_group.add_argument(
+        "--kv-frac", type=float, default=0.9, metavar="F",
+        help="fraction of free HBM the KV accountant may use (default 0.9)")
     args = parser.parse_args(argv)
 
     model = MODELS[args.model]
     node = TESTBEDS[args.node](args.gpus)
     want_trace = args.gantt or args.chrome_trace is not None
+    overload = None
+    if args.max_pending is not None or args.deadline_ms is not None:
+        from repro.serving.overload import OverloadConfig
+
+        overload = OverloadConfig(
+            max_pending_requests=(
+                args.max_pending if args.max_pending is not None else 64
+            ),
+            policy=args.admission,
+            default_deadline_us=(
+                args.deadline_ms * 1000.0
+                if args.deadline_ms is not None else None
+            ),
+            kv_capacity_frac=args.kv_frac,
+        )
     result = serve(
         model,
         node,
@@ -63,8 +92,12 @@ def main(argv=None) -> int:
         batch_size=args.batch,
         seed=args.seed,
         record_trace=want_trace,
+        overload=overload,
+        resilience=None,
     )
     print(result.summary())
+    if result.overload is not None:
+        print(result.overload.describe())
     stats = result.latency_stats()
     print(
         f"latency ms: mean={stats.mean:.1f} p50={stats.p50:.1f} "

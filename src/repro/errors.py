@@ -20,6 +20,7 @@ __all__ = [
     "ProfileMissingError",
     "FaultError",
     "RetryExhaustedError",
+    "IncompleteRequestError",
 ]
 
 
@@ -89,4 +90,14 @@ class RetryExhaustedError(FaultError):
     Raised by the recovery layer (:mod:`repro.faults.resilience`) when a batch
     submission keeps hitting :class:`FaultError` past ``max_retries`` and the
     configuration forbids shedding it.
+    """
+
+
+class IncompleteRequestError(ReproError, RuntimeError):
+    """A per-request result was read before the request reached COMPLETED.
+
+    Raised by :attr:`repro.serving.request.Request.latency` (and the chat
+    equivalents) when the request is still pending, or finished in a
+    non-completed terminal state (``SHED``/``TIMED_OUT``) — those requests
+    have no latency to report.
     """

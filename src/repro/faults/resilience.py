@@ -29,7 +29,7 @@ and watchdog statistics, and the faults that were active.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import ConfigError, FaultError, RetryExhaustedError
 from repro.faults.injector import FaultInjector
@@ -110,6 +110,9 @@ class ResilienceReport:
     faults: List[str] = field(default_factory=list)
     changes: List[StrategyChange] = field(default_factory=list)
     downgrades: int = 0
+    #: Subset of ``downgrades`` triggered by overload backpressure rather
+    #: than Principle-1 violations.
+    overload_downgrades: int = 0
     upgrades: int = 0
     recovery_times_us: List[float] = field(default_factory=list)
     retries: int = 0
@@ -206,6 +209,11 @@ class RecoveryManager:
         #: Optional observer called with each shed batch — servers that keep
         #: their own per-batch state (the lifecycle server) clean it up here.
         self.on_shed = None
+        #: Optional predicate holding the upgrade probe back even when no
+        #: fault window is active — the overload layer parks the run on the
+        #: fallback until its queue has drained (upgrading into a still-full
+        #: queue would immediately re-trip the breaker).
+        self.hold_upgrade: Optional[Callable[[], bool]] = None
         # Principle-1 monitoring needs the Liger runtime's round hook.
         runtime = getattr(primary, "runtime", None)
         self.monitor: Optional[PrincipleMonitor] = None
@@ -297,7 +305,8 @@ class RecoveryManager:
     def _shed(self, batch: Batch) -> None:
         self.report.shed_batches.append(batch.batch_id)
         if self.metrics is not None:
-            self.metrics.shed_requests += batch.size
+            batch.shed()  # terminal state: nothing is dropped silently
+            self.metrics.note_shed(batch.requests)
         if self.on_shed is not None:
             self.on_shed(batch)
 
@@ -314,6 +323,20 @@ class RecoveryManager:
                 f"round {round_index} secondary subset outlived its window by "
                 f"{overshoot:.0f}us ({self._violations_since_ok} violations)",
             )
+
+    def overload_downgrade(self, reason: str) -> bool:
+        """Downgrade on a backpressure signal (queue depth / SLO misses).
+
+        Called by the overload layer's circuit breaker; interleaving buys
+        latency, not saturation throughput, so a saturated server is better
+        off on the plain fallback.  Returns ``False`` when no fallback is
+        configured or the run is already degraded.
+        """
+        if self.degraded or self.fallback is None:
+            return False
+        self.report.overload_downgrades += 1
+        self._downgrade(self.machine.engine.now, reason)
+        return True
 
     def _downgrade(self, time: float, reason: str) -> None:
         assert self.fallback is not None
@@ -333,6 +356,8 @@ class RecoveryManager:
             return False
         if self.injector.any_active():
             return True
+        if self.hold_upgrade is not None and self.hold_upgrade():
+            return True  # overload layer: queue not drained yet
         now = self.machine.engine.now
         self.degraded = False
         self.report.upgrades += 1

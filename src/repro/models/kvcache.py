@@ -28,7 +28,31 @@ from repro.models.transformer import lm_head_ops
 from repro.sim.kernel import KernelKind
 from repro.units import FP16_BYTES
 
-__all__ = ["decode_layer_ops", "decode_step_ops"]
+__all__ = ["decode_layer_ops", "decode_step_ops", "batch_kv_bytes"]
+
+
+def batch_kv_bytes(model: ModelSpec, batch, tp: int) -> float:
+    """Per-device KV-cache bytes one serving batch holds while in flight.
+
+    Accounting is per *request*, not per padded batch — KV lives in paged
+    per-sequence allocations, so a decode batch's footprint is the sum of
+    each member's true context (cached tokens plus the one being generated),
+    and a prefill batch's is the KV it writes for each member's own prompt.
+    This is what the serving-level :class:`~repro.serving.overload.
+    KVCacheAccountant` charges against per-GPU capacity.
+    """
+    from repro.serving.request import Phase  # local: avoid a package cycle
+
+    if tp < 1:
+        raise ConfigError(f"tp must be >= 1, got {tp}")
+    total = 0.0
+    for req in batch.requests:
+        if req.phase is Phase.DECODE:
+            tokens = req.context_len + 1
+        else:
+            tokens = req.seq_len
+        total += model.kv_cache_bytes(1, tokens, tp=tp)
+    return total
 
 
 def decode_layer_ops(

@@ -27,7 +27,14 @@ from repro.serving.lifecycle import (
     chat_workload,
 )
 from repro.serving.metrics import LatencyStats, ServingMetrics
-from repro.serving.request import Batch, Phase, Request
+from repro.serving.overload import (
+    AdmissionPolicy,
+    KVCacheAccountant,
+    OverloadConfig,
+    OverloadController,
+    OverloadReport,
+)
+from repro.serving.request import Batch, Phase, Request, RequestState
 from repro.serving.server import Server, ServingResult
 from repro.serving.workload import (
     general_trace,
@@ -40,6 +47,12 @@ __all__ = [
     "Request",
     "Batch",
     "Phase",
+    "RequestState",
+    "AdmissionPolicy",
+    "OverloadConfig",
+    "OverloadController",
+    "OverloadReport",
+    "KVCacheAccountant",
     "ArrivalProcess",
     "ConstantRate",
     "PoissonProcess",

@@ -17,6 +17,7 @@ This is the library's front door::
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Optional, Tuple, Type
 
 from repro.errors import ConfigError
@@ -88,6 +89,8 @@ def serve(
     check_memory: bool = True,
     fault_plan=None,
     resilience=None,
+    overload=None,
+    deadline_us: Optional[float] = None,
     **strategy_kwargs,
 ) -> ServingResult:
     """Serve a synthetic workload and return latency/throughput metrics.
@@ -101,7 +104,22 @@ def serve(
     :class:`~repro.faults.resilience.ResilienceConfig`) tunes its policy.
     When both are ``None`` no fault machinery is constructed and the run is
     bit-identical to one without fault support.
+
+    ``overload`` (a :class:`~repro.serving.overload.OverloadConfig`) arms
+    admission control, deadline enforcement, and KV-cache accounting in
+    front of the strategy; ``deadline_us`` stamps every request with an
+    arrival-relative deadline (it implies a default ``OverloadConfig``
+    when ``overload`` is not given).
     """
+    if deadline_us is not None:
+        from repro.serving.overload import OverloadConfig
+
+        if overload is None:
+            overload = OverloadConfig(default_deadline_us=deadline_us)
+        elif overload.default_deadline_us is None:
+            overload = dataclasses.replace(
+                overload, default_deadline_us=deadline_us
+            )
     strat = make_strategy(strategy, model, node, **strategy_kwargs)
     if workload == "general":
         batches = general_trace(
@@ -125,5 +143,6 @@ def serve(
         check_memory=check_memory,
         fault_plan=fault_plan,
         resilience=resilience,
+        overload=overload,
     )
     return server.run(batches)

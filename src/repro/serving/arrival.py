@@ -91,6 +91,13 @@ class BurstyProcess(ArrivalProcess):
         rates: burst = ``mean·(b+1)/2`` and lull = ``mean·(b+1)/(2b)``.
     phase_requests:
         Number of requests per phase before switching.
+    jitter_frac:
+        Optional multiplicative jitter on each inter-arrival gap: each gap
+        is scaled by a uniform factor in ``[1-j, 1+j]`` drawn from the
+        seeded RNG.  ``0.0`` (the default) keeps the process fully
+        deterministic and bit-identical to builds without jitter support.
+    seed:
+        RNG seed for the jitter draws; unused when ``jitter_frac`` is 0.
     """
 
     def __init__(
@@ -99,6 +106,8 @@ class BurstyProcess(ArrivalProcess):
         *,
         burstiness: float = 4.0,
         phase_requests: int = 8,
+        jitter_frac: float = 0.0,
+        seed: int = 0,
     ) -> None:
         if mean_rate <= 0:
             raise ConfigError(f"mean_rate must be positive, got {mean_rate}")
@@ -106,22 +115,33 @@ class BurstyProcess(ArrivalProcess):
             raise ConfigError("burstiness must be > 1")
         if phase_requests < 1:
             raise ConfigError("phase_requests must be >= 1")
+        if not 0.0 <= jitter_frac < 1.0:
+            raise ConfigError("jitter_frac must be in [0, 1)")
         self.mean_rate = mean_rate
         self.burst_rate = mean_rate * (burstiness + 1.0) / 2.0
         self.lull_rate = mean_rate * (burstiness + 1.0) / (2.0 * burstiness)
         self.phase_requests = phase_requests
+        self.jitter_frac = jitter_frac
+        self.seed = seed
 
     def arrivals(self, n: int) -> List[float]:
         """Alternating burst/lull phases of ``phase_requests`` each."""
         if n < 0:
             raise ConfigError("n must be >= 0")
+        rng = (
+            np.random.default_rng(self.seed) if self.jitter_frac > 0.0 else None
+        )
         out: List[float] = []
         t = 0.0
         in_burst = True
         since_switch = 0
         for _ in range(n):
             rate = self.burst_rate if in_burst else self.lull_rate
-            t += seconds(1.0) / rate
+            gap = seconds(1.0) / rate
+            if rng is not None:
+                lo, hi = 1.0 - self.jitter_frac, 1.0 + self.jitter_frac
+                gap *= rng.uniform(lo, hi)
+            t += gap
             out.append(t)
             since_switch += 1
             if since_switch >= self.phase_requests:

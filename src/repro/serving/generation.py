@@ -160,7 +160,7 @@ class _GenerationServerBase:
             rid=gen.rid, arrival=gen.arrival, seq_len=gen.gen_tokens,
             phase=Phase.DECODE, context_len=gen.context_len,
         )
-        proxy.completion = time
+        proxy.mark_completed(time)
         self.metrics.record([proxy])
 
     def _result(self, expected: int) -> ServingResult:

@@ -22,12 +22,18 @@ first-token latency) and full completion latency; both are returned in the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError, DeadlockError, SimulationError
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    IncompleteRequestError,
+    SimulationError,
+)
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
     from repro.faults.plan import FaultPlan
@@ -39,7 +45,8 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
 from repro.models.partition import check_placement
 from repro.serving.arrival import ArrivalProcess, ConstantRate
 from repro.serving.metrics import LatencyStats
-from repro.serving.request import Batch, Phase, Request
+from repro.serving.overload import AdmissionPolicy, OverloadConfig
+from repro.serving.request import Batch, Phase, Request, RequestState
 from repro.sim.contention import ContentionModel, default_contention_for
 from repro.sim.engine import Engine
 from repro.sim.gpu import Machine
@@ -62,23 +69,30 @@ class ChatRequest:
     prefill_done: Optional[float] = None
     completion: Optional[float] = None
     tokens_done: int = 0
+    #: Absolute deadline (µs); ``None`` means no SLO attached.
+    deadline: Optional[float] = None
+    state: RequestState = RequestState.PENDING
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1 or self.gen_tokens < 1:
             raise ConfigError(f"request {self.rid}: invalid chat job")
+        if self.deadline is not None and self.deadline < self.arrival:
+            raise ConfigError(
+                f"request {self.rid}: deadline precedes arrival"
+            )
 
     @property
     def ttft(self) -> float:
         """Time to first token (µs): arrival → prefill completion."""
         if self.prefill_done is None:
-            raise ConfigError(f"request {self.rid} has not prefilled")
+            raise IncompleteRequestError(f"request {self.rid} has not prefilled")
         return self.prefill_done - self.arrival
 
     @property
     def latency(self) -> float:
         """Full latency (µs): arrival → last token."""
         if self.completion is None:
-            raise ConfigError(f"request {self.rid} has not completed")
+            raise IncompleteRequestError(f"request {self.rid} has not completed")
         return self.completion - self.arrival
 
     @property
@@ -89,6 +103,10 @@ class ChatRequest:
     def finished(self) -> bool:
         return self.tokens_done >= self.gen_tokens
 
+    def deadline_passed(self, now: float) -> bool:
+        """Whether the deadline (if any) has expired at simulated ``now``."""
+        return self.deadline is not None and now > self.deadline
+
 
 def chat_workload(
     num_requests: int,
@@ -98,14 +116,21 @@ def chat_workload(
     gen_tokens: tuple = (4, 16),
     seed: int = 0,
     arrival: Optional[ArrivalProcess] = None,
+    deadline_us: Optional[float] = None,
 ) -> List[ChatRequest]:
-    """Random chat jobs: uniform prompt and response lengths."""
+    """Random chat jobs: uniform prompt and response lengths.
+
+    ``deadline_us`` attaches a full-latency SLO to every chat, relative to
+    its own arrival.
+    """
     if num_requests < 1:
         raise ConfigError("num_requests must be >= 1")
     p_lo, p_hi = prompt_range
     g_lo, g_hi = gen_tokens
     if not (1 <= p_lo <= p_hi and 1 <= g_lo <= g_hi):
         raise ConfigError("invalid prompt/gen ranges")
+    if deadline_us is not None and deadline_us <= 0:
+        raise ConfigError("deadline_us must be positive")
     proc = arrival or ConstantRate(rate)
     times = proc.arrivals(num_requests)
     rng = np.random.default_rng(seed)
@@ -115,6 +140,7 @@ def chat_workload(
         ChatRequest(
             rid=i, arrival=times[i],
             prompt_len=int(prompts[i]), gen_tokens=int(gens[i]),
+            deadline=(times[i] + deadline_us) if deadline_us is not None else None,
         )
         for i in range(num_requests)
     ]
@@ -133,19 +159,31 @@ class LifecycleResult:
     tokens_generated: int
     tokens_per_second: float
     wall_events: int
-    #: Chats dropped by the recovery layer after retry exhaustion.
+    #: Chats dropped by admission control or the recovery layer.
     shed_requests: int = 0
+    #: Chats whose deadline expired before completion.
+    timed_out_requests: int = 0
+    #: Decode chats preempted-and-requeued (recompute) under KV pressure.
+    preemptions: int = 0
+    #: Completed chats that finished after their deadline.
+    deadline_misses: int = 0
+    #: Fraction of deadline-carrying chats that completed on time;
+    #: ``None`` when no chat carried a deadline.
+    slo_attainment: Optional[float] = None
     #: Recovery-layer summary; ``None`` unless faults/resilience were enabled.
     resilience: Optional["ResilienceReport"] = None
 
     def summary(self) -> str:
         """One-line human summary."""
-        return (
+        line = (
             f"{self.strategy:>8s} | {self.model} on {self.node}: "
             f"{self.num_requests} chats, TTFT {self.ttft.mean:.1f} ms, "
             f"full latency {self.latency.mean:.1f} ms, "
             f"{self.tokens_per_second:,.0f} tok/s"
         )
+        if self.slo_attainment is not None:
+            line += f", SLO {self.slo_attainment:.0%}"
+        return line
 
 
 class LifecycleServer:
@@ -165,6 +203,7 @@ class LifecycleServer:
         check_memory: bool = True,
         fault_plan: Optional["FaultPlan"] = None,
         resilience: Optional["ResilienceConfig"] = None,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         if strategy.model is not model or strategy.node is not node:
             raise ConfigError("strategy was built for a different model/node")
@@ -199,7 +238,14 @@ class LifecycleServer:
         self._decode_busy: set = set()
         self._finished: List[ChatRequest] = []
         self._shed: List[ChatRequest] = []
+        self._timed_out: List[ChatRequest] = []
         self.tokens_generated = 0
+
+        self.overload = overload
+        self.preemptions = 0
+        self._deadline_misses = 0
+        self._slo_tracked = 0
+        self._slo_met = 0
 
         self.recovery: Optional["RecoveryManager"] = None
         if fault_plan is not None or resilience is not None:
@@ -237,7 +283,7 @@ class LifecycleServer:
         if group is not None:
             for req in group:
                 self.memory.release(f"chat{req.rid}")
-                self._shed.append(req)
+                self._shed_chat(req)
             self._maybe_submit_prefill()
             return
         members = self._decode_inflight.pop(batch.batch_id, [])
@@ -268,7 +314,8 @@ class LifecycleServer:
         if self.recovery is not None:
             self.recovery.arm()
         self.machine.run()
-        if len(self._finished) + len(self._shed) != len(ordered):
+        resolved = len(self._finished) + len(self._shed) + len(self._timed_out)
+        if resolved != len(ordered):
             # A run that returned without serving everything is a wedge, not
             # a configuration mistake: name the batches that never drained.
             open_ids = sorted(
@@ -276,13 +323,15 @@ class LifecycleServer:
             )
             raise DeadlockError(
                 f"served {len(self._finished)} of {len(ordered)} requests"
-                f"{f' ({len(self._shed)} shed)' if self._shed else ''} — "
-                f"batches never completed: "
+                f"{f' ({len(self._shed)} shed)' if self._shed else ''}"
+                f"{f' ({len(self._timed_out)} timed out)' if self._timed_out else ''}"
+                f" — batches never completed: "
                 f"{open_ids if open_ids else 'none open (lost)'}"
             )
         if not self._finished:
             raise SimulationError(
-                f"all {len(self._shed)} request(s) were shed; nothing completed"
+                f"all {len(ordered)} request(s) were shed or timed out; "
+                "nothing completed"
             )
         first = min(r.arrival for r in self._finished)
         last = max(r.completion for r in self._finished)  # type: ignore[type-var]
@@ -299,17 +348,85 @@ class LifecycleServer:
             tokens_per_second=self.tokens_generated / us_to_s(last - first),
             wall_events=self.engine.events_processed,
             shed_requests=len(self._shed),
+            timed_out_requests=len(self._timed_out),
+            preemptions=self.preemptions,
+            deadline_misses=self._deadline_misses,
+            slo_attainment=(
+                self._slo_met / self._slo_tracked if self._slo_tracked else None
+            ),
             resilience=(
                 self.recovery.finalize() if self.recovery is not None else None
             ),
         )
 
     # ------------------------------------------------------------------
+    # Terminal bookkeeping (every chat ends in exactly one terminal state)
+    # ------------------------------------------------------------------
+    def _note_slo_terminal(self, req: ChatRequest) -> None:
+        if req.deadline is not None:
+            self._slo_tracked += 1
+
+    def _shed_chat(self, req: ChatRequest) -> None:
+        req.state = RequestState.SHED
+        self._shed.append(req)
+        self._note_slo_terminal(req)
+
+    def _time_out_chat(self, req: ChatRequest) -> None:
+        req.state = RequestState.TIMED_OUT
+        self._timed_out.append(req)
+        self._note_slo_terminal(req)
+
+    # ------------------------------------------------------------------
     # Prefill path
     # ------------------------------------------------------------------
     def _on_arrival(self, req: ChatRequest) -> None:
+        cfg = self.overload
+        if cfg is not None:
+            if req.deadline is None and cfg.default_deadline_us is not None:
+                req.deadline = req.arrival + cfg.default_deadline_us
+            if not self._admit(req):
+                return
         self._prefill_queue.append(req)
         self._maybe_submit_prefill()
+
+    def _admit(self, req: ChatRequest) -> bool:
+        """Enforce the bounded admission queue; False = arrival was shed."""
+        cfg = self.overload
+        assert cfg is not None
+        while len(self._prefill_queue) >= cfg.max_pending_requests:
+            if (
+                cfg.policy is AdmissionPolicy.SHED_OLDEST
+                and self._prefill_queue
+            ):
+                self._shed_chat(self._prefill_queue.pop(0))
+                continue
+            if cfg.policy is AdmissionPolicy.SHED_BY_DEADLINE:
+                with_deadline = [
+                    c for c in self._prefill_queue if c.deadline is not None
+                ]
+                if with_deadline:
+                    victim = min(with_deadline, key=lambda c: c.deadline)
+                    self._prefill_queue.remove(victim)
+                    self._shed_chat(victim)
+                    continue
+            self._shed_chat(req)
+            return False
+        return True
+
+    def _expire_queued(self) -> None:
+        """Shed queued chats whose deadline passed — cheaply, pre-launch."""
+        now = self.engine.now
+        expired = [r for r in self._prefill_queue if r.deadline_passed(now)]
+        for req in expired:
+            self._prefill_queue.remove(req)
+            self._time_out_chat(req)
+
+    def _chat_reserve_bytes(self, req: ChatRequest) -> float:
+        """Per-device footprint of one resident chat: full KV + workspace."""
+        tp = self.node.num_gpus
+        return self.model.kv_cache_bytes(
+            1, req.prompt_len + req.gen_tokens, tp=tp
+        ) + activation_bytes(self.model, 1, 1, tp)
 
     def _try_reserve_chat(self, req: ChatRequest) -> bool:
         """Reserve KV for prompt + full response when prefill is admitted.
@@ -319,36 +436,88 @@ class LifecycleServer:
         """
         from repro.errors import OutOfMemoryError
 
-        tp = self.node.num_gpus
         try:
-            self.memory.reserve(
-                f"chat{req.rid}",
-                self.model.kv_cache_bytes(
-                    1, req.prompt_len + req.gen_tokens, tp=tp
-                )
-                + activation_bytes(self.model, 1, 1, tp),
-            )
+            self.memory.reserve(f"chat{req.rid}", self._chat_reserve_bytes(req))
             return True
         except OutOfMemoryError:
             if self._prefill_inflight or self._decode_pool:
                 return False  # running chats will free memory
             raise  # a single chat that can never fit
 
+    def _reserve_with_preemption(self, req: ChatRequest) -> bool:
+        """Reserve KV for ``req``, evicting young decode chats if allowed.
+
+        Preemption is recompute-style (vLLM's fallback): the youngest idle
+        decode chat that arrived after ``req`` releases its KV reservation
+        and re-queues for a fresh prefill of its full accumulated context.
+        Older work is therefore never starved by late-arriving KV holders.
+        Eviction is attempted only when the eligible victims together free
+        enough memory — a futile preemption would throw away decode progress
+        without unblocking anything.
+        """
+        if self._try_reserve_chat(req):
+            return True
+        if self.overload is None or not self.overload.enable_preemption:
+            return False
+        candidates = [
+            c
+            for c in self._decode_pool
+            if c.rid not in self._decode_busy and c.arrival > req.arrival
+        ]
+        releasable = sum(self._chat_reserve_bytes(c) for c in candidates)
+        needed = self._chat_reserve_bytes(req)
+        if self.memory.min_available() + releasable < needed:
+            return False  # evicting everyone eligible still would not fit
+        for victim in sorted(candidates, key=lambda c: -c.arrival):
+            self._decode_pool.remove(victim)
+            self.memory.release(f"chat{victim.rid}")
+            self._prefill_queue.append(victim)
+            self.preemptions += 1
+            if self._try_reserve_chat(req):
+                return True
+        return False  # unreachable given the precheck; kept defensive
+
+    def _queue_order(self) -> List[ChatRequest]:
+        """Prefill admission order: FIFO, or EDF under shed-by-deadline.
+
+        With the deadline-aware policy the queue serves earliest-deadline
+        first, so an urgent late arrival can pass an older, looser chat —
+        which is also what makes recompute preemption reachable: the passed
+        chat may later find younger chats holding its KV budget.
+        """
+        if (
+            self.overload is not None
+            and self.overload.policy is AdmissionPolicy.SHED_BY_DEADLINE
+        ):
+            return sorted(
+                self._prefill_queue,
+                key=lambda c: (
+                    c.deadline if c.deadline is not None else math.inf,
+                    c.arrival,
+                ),
+            )
+        return self._prefill_queue
+
     def _maybe_submit_prefill(self) -> None:
+        if self.overload is not None:
+            self._expire_queued()
         while self._prefill_queue:
             group: List[ChatRequest] = []
-            for req in list(self._prefill_queue[: self.prefill_batch]):
-                if not self._try_reserve_chat(req):
+            for req in list(self._queue_order()[: self.prefill_batch]):
+                if not self._reserve_with_preemption(req):
                     break
                 group.append(req)
             if not group:
                 return  # memory-blocked: retried on chat completion
-            del self._prefill_queue[: len(group)]
+            for req in group:
+                self._prefill_queue.remove(req)
             batch = Batch(
                 requests=[
                     Request(
                         rid=r.rid, arrival=r.arrival,
-                        seq_len=r.prompt_len, phase=Phase.PREFILL,
+                        # A preempted chat re-prefills its full accumulated
+                        # context; a fresh chat's context is its prompt.
+                        seq_len=r.current_context, phase=Phase.PREFILL,
                     )
                     for r in group
                 ]
@@ -359,7 +528,22 @@ class LifecycleServer:
     # ------------------------------------------------------------------
     # Decode path (continuous batching)
     # ------------------------------------------------------------------
+    def _expire_decode_pool(self) -> None:
+        """Time out idle decode chats whose deadline passed (KV released)."""
+        now = self.engine.now
+        expired = [
+            r
+            for r in self._decode_pool
+            if r.rid not in self._decode_busy and r.deadline_passed(now)
+        ]
+        for req in expired:
+            self._decode_pool.remove(req)
+            self.memory.release(f"chat{req.rid}")
+            self._time_out_chat(req)
+
     def _maybe_submit_decode(self) -> None:
+        if self.overload is not None:
+            self._expire_decode_pool()
         while len(self._decode_inflight) < self.decode_pipeline_depth:
             ready = [r for r in self._decode_pool if r.rid not in self._decode_busy]
             if not ready:
@@ -383,7 +567,13 @@ class LifecycleServer:
         if batch.batch_id in self._prefill_inflight:
             group = self._prefill_inflight.pop(batch.batch_id)
             for req in group:
-                req.prefill_done = time
+                if req.prefill_done is None:  # a re-prefill keeps its TTFT
+                    req.prefill_done = time
+                if self.overload is not None and req.deadline_passed(time):
+                    # Expired while prefilling: record the miss, free the KV.
+                    self.memory.release(f"chat{req.rid}")
+                    self._time_out_chat(req)
+                    continue
                 self._decode_pool.append(req)
             self._maybe_submit_decode()
             return
@@ -394,8 +584,26 @@ class LifecycleServer:
             self._decode_busy.discard(req.rid)
             if req.finished:
                 req.completion = time
+                req.state = RequestState.COMPLETED
                 self._decode_pool.remove(req)
                 self.memory.release(f"chat{req.rid}")
                 self._finished.append(req)
-        self._maybe_submit_decode()
-        self._maybe_submit_prefill()  # freed memory may unblock prompts
+                if req.deadline is not None:
+                    # Mid-execution expiry still completes; it is recorded
+                    # as a deadline miss rather than wasted work.
+                    self._slo_tracked += 1
+                    if req.completion <= req.deadline:
+                        self._slo_met += 1
+                    else:
+                        self._deadline_misses += 1
+        if self.overload is not None:
+            # Under admission control, blocked head-of-line prompts get
+            # first claim on just-freed memory — the decode pool is briefly
+            # idle here, which is the only moment recompute preemption can
+            # see it.  Without overload the original order is kept so the
+            # timeline is bit-identical to builds without this subsystem.
+            self._maybe_submit_prefill()
+            self._maybe_submit_decode()
+        else:
+            self._maybe_submit_decode()
+            self._maybe_submit_prefill()  # freed memory may unblock prompts

@@ -5,16 +5,22 @@
 * **Throughput**: "the number of requests a system can handle within a given
   time" — completed requests divided by the span from first arrival to last
   completion.
+
+Under overload the outcome of a request is no longer binary, so the metrics
+additionally account every terminal state (:class:`~repro.serving.request.
+RequestState`): shed, timed out, deadline-missed-but-completed — and derive
+**SLO attainment**, the fraction of deadline-carrying requests that
+completed on time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IncompleteRequestError
 from repro.serving.request import Request
 from repro.units import us_to_s
 
@@ -47,28 +53,76 @@ class LatencyStats:
 
 @dataclass
 class ServingMetrics:
-    """Accumulates completed requests and derives the paper's two metrics.
+    """Accumulates terminal request outcomes and derives the paper's metrics.
 
-    The recovery layer (:mod:`repro.faults.resilience`) additionally keeps
-    the ``retries``/``shed_requests`` counters in sync: launch retries
-    absorbed by backoff, and requests dropped after the retry budget ran
-    out.  Both stay 0 on fault-free runs.
+    The recovery layer (:mod:`repro.faults.resilience`) keeps ``retries``/
+    ``shed_requests`` in sync; the overload layer
+    (:mod:`repro.serving.overload`) drives ``timed_out_requests``,
+    ``preemptions``, and the SLO counters.  All stay 0 on a healthy run.
     """
 
     completed: List[Request] = field(default_factory=list)
     retries: int = 0
+    #: Requests dropped without service (admission control, retry exhaustion).
     shed_requests: int = 0
+    #: Requests whose deadline expired before they could complete.
+    timed_out_requests: int = 0
+    #: Decode batches preempted-and-requeued under KV-cache pressure.
+    preemptions: int = 0
+    #: Completed requests whose completion came after their deadline.
+    deadline_misses: int = 0
+    #: Deadline-carrying requests that reached a terminal state.
+    slo_tracked: int = 0
+    #: Deadline-carrying requests that completed on time.
+    slo_met: int = 0
 
     def record(self, requests: Sequence[Request]) -> None:
         """Add completed requests to the tally (must carry completions)."""
         for r in requests:
             if r.completion is None:
-                raise ConfigError(f"request {r.rid} recorded without completion")
+                raise IncompleteRequestError(
+                    f"request {r.rid} recorded without completion"
+                )
             self.completed.append(r)
+            if r.deadline is not None:
+                self.slo_tracked += 1
+                if r.completion <= r.deadline:
+                    self.slo_met += 1
+                else:
+                    self.deadline_misses += 1
+
+    def note_shed(self, requests: Sequence[Request]) -> None:
+        """Account requests dropped without service (terminal SHED)."""
+        self.shed_requests += len(requests)
+        for r in requests:
+            if r.deadline is not None:
+                self.slo_tracked += 1
+
+    def note_timed_out(self, requests: Sequence[Request]) -> None:
+        """Account requests whose deadline expired (terminal TIMED_OUT)."""
+        self.timed_out_requests += len(requests)
+        for r in requests:
+            if r.deadline is not None:
+                self.slo_tracked += 1
 
     @property
     def num_completed(self) -> int:
         return len(self.completed)
+
+    @property
+    def num_terminal(self) -> int:
+        """Requests that reached any terminal state."""
+        return self.num_completed + self.shed_requests + self.timed_out_requests
+
+    def slo_attainment(self) -> Optional[float]:
+        """Fraction of deadline-carrying requests that completed on time.
+
+        ``None`` when no request carried a deadline (no SLO to attain).
+        Shed and timed-out deadline requests count against attainment.
+        """
+        if self.slo_tracked == 0:
+            return None
+        return self.slo_met / self.slo_tracked
 
     def latency_stats(self) -> LatencyStats:
         """Latency summary in milliseconds."""

@@ -6,6 +6,12 @@ user job; a :class:`Batch` is the runtime's scheduling unit.  Latency is
 measured per *request*, from its own arrival (not the batch's) to batch
 completion, so batching delay is charged as pending time exactly as the
 paper defines latency ("the pending time and the cuda execution time").
+
+Under overload (:mod:`repro.serving.overload`) not every request completes:
+a request carries an explicit :class:`RequestState` and every request ends
+in exactly one terminal state — ``COMPLETED``, ``SHED`` (dropped by
+admission control or the recovery layer), or ``TIMED_OUT`` (its deadline
+passed before it could finish).  Nothing is ever silently dropped.
 """
 
 from __future__ import annotations
@@ -15,9 +21,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IncompleteRequestError
 
-__all__ = ["Phase", "Request", "Batch"]
+__all__ = ["Phase", "RequestState", "Request", "Batch"]
 
 _batch_ids = itertools.count()
 
@@ -27,6 +33,19 @@ class Phase(enum.Enum):
 
     PREFILL = "prefill"    # initial conditioning: full-sequence forward
     DECODE = "decode"      # incremental sampling: one token per request
+
+
+class RequestState(enum.Enum):
+    """Lifecycle state of a request; the last three are terminal."""
+
+    PENDING = "pending"        # arrived, not yet finished either way
+    COMPLETED = "completed"    # served to completion (has a latency)
+    SHED = "shed"              # dropped: admission control or recovery layer
+    TIMED_OUT = "timed_out"    # its deadline expired before completion
+
+    @property
+    def terminal(self) -> bool:
+        return self is not RequestState.PENDING
 
 
 @dataclass
@@ -39,6 +58,11 @@ class Request:
     phase: Phase = Phase.PREFILL
     context_len: int = 0     # KV context for DECODE requests
     completion: Optional[float] = None
+    #: Absolute deadline (µs); ``None`` means no SLO attached.  A request
+    #: whose deadline passes while pending is shed cheaply; one that expires
+    #: mid-execution still completes but counts as a deadline miss.
+    deadline: Optional[float] = None
+    state: RequestState = RequestState.PENDING
     #: Stamped by the Batch that adopts this request (−1 until batched);
     #: lets post-run analysis join request metrics with trace rows.
     batch_id: int = -1
@@ -48,13 +72,50 @@ class Request:
             raise ConfigError(f"request {self.rid}: seq_len must be >= 1")
         if self.arrival < 0:
             raise ConfigError(f"request {self.rid}: negative arrival time")
+        if self.deadline is not None and self.deadline < self.arrival:
+            raise ConfigError(
+                f"request {self.rid}: deadline {self.deadline} precedes "
+                f"arrival {self.arrival}"
+            )
 
     @property
     def latency(self) -> float:
-        """Arrival→completion (µs); raises if not yet complete."""
-        if self.completion is None:
-            raise ConfigError(f"request {self.rid} has not completed")
+        """Arrival→completion (µs); raises if not completed."""
+        if self.state is not RequestState.COMPLETED or self.completion is None:
+            raise IncompleteRequestError(
+                f"request {self.rid} has no latency (state: {self.state.value})"
+            )
         return self.completion - self.arrival
+
+    # ------------------------------------------------------------------
+    # Terminal transitions — each request takes exactly one.
+    # ------------------------------------------------------------------
+    def _require_pending(self, action: str) -> None:
+        if self.state.terminal:
+            raise ConfigError(
+                f"request {self.rid} already terminal "
+                f"({self.state.value}); cannot {action}"
+            )
+
+    def mark_completed(self, time: float) -> None:
+        """Terminal: the request was served; ``time`` is its completion."""
+        self._require_pending("complete")
+        self.completion = time
+        self.state = RequestState.COMPLETED
+
+    def mark_shed(self) -> None:
+        """Terminal: dropped by admission control or the recovery layer."""
+        self._require_pending("shed")
+        self.state = RequestState.SHED
+
+    def mark_timed_out(self) -> None:
+        """Terminal: the deadline expired before the request could finish."""
+        self._require_pending("time out")
+        self.state = RequestState.TIMED_OUT
+
+    def deadline_passed(self, now: float) -> bool:
+        """Whether the deadline (if any) has expired at simulated ``now``."""
+        return self.deadline is not None and now > self.deadline
 
 
 @dataclass
@@ -100,7 +161,23 @@ class Batch:
         """The batch is formed when its last member arrives."""
         return max(r.arrival for r in self.requests)
 
+    @property
+    def deadline(self) -> Optional[float]:
+        """Tightest member deadline, or ``None`` if no member carries one."""
+        deadlines = [r.deadline for r in self.requests if r.deadline is not None]
+        return min(deadlines) if deadlines else None
+
     def complete(self, time: float) -> None:
         """Stamp every member request complete at ``time``."""
         for r in self.requests:
-            r.completion = time
+            r.mark_completed(time)
+
+    def shed(self) -> None:
+        """Stamp every member request with the terminal SHED state."""
+        for r in self.requests:
+            r.mark_shed()
+
+    def time_out(self) -> None:
+        """Stamp every member request with the terminal TIMED_OUT state."""
+        for r in self.requests:
+            r.mark_timed_out()

@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # avoid a circular import; the server only type-hints it
         ResilienceReport,
     )
     from repro.parallel.base import ParallelStrategy
+from repro.serving.overload import OverloadConfig, OverloadController, OverloadReport
 from repro.serving.request import Batch
 from repro.sim.contention import ContentionModel, default_contention_for
 from repro.sim.engine import Engine
@@ -50,6 +51,8 @@ class ServingResult:
     wall_events: int = 0
     #: Recovery-layer summary; ``None`` unless faults/resilience were enabled.
     resilience: Optional["ResilienceReport"] = None
+    #: Overload-layer summary; ``None`` unless admission control was enabled.
+    overload: Optional[OverloadReport] = None
 
     @property
     def avg_latency_ms(self) -> float:
@@ -87,6 +90,7 @@ class Server:
         check_memory: bool = True,
         fault_plan: Optional["FaultPlan"] = None,
         resilience: Optional["ResilienceConfig"] = None,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         if strategy.model is not model or strategy.node is not node:
             raise ConfigError("strategy was built for a different model/node")
@@ -110,6 +114,14 @@ class Server:
         self.recovery: Optional["RecoveryManager"] = None
         if fault_plan is not None or resilience is not None:
             self._init_recovery(fault_plan, resilience)
+        self.overload_ctl: Optional[OverloadController] = None
+        if overload is not None:
+            self.overload_ctl = OverloadController(
+                overload, model, node, self.engine, self.metrics, self._submit
+            )
+            if self.recovery is not None:
+                self.overload_ctl.attach_recovery(self.recovery)
+                self.recovery.on_shed = self.overload_ctl.on_downstream_shed
 
     def _init_recovery(self, fault_plan, resilience) -> None:
         """Arm the fault injector and recovery policy around the strategy.
@@ -138,6 +150,8 @@ class Server:
     def _on_batch_complete(self, batch: Batch, time: float) -> None:
         batch.complete(time)
         self.metrics.record(batch.requests)
+        if self.overload_ctl is not None:
+            self.overload_ctl.on_complete(batch, time)
 
     def _submit(self, batch: Batch) -> None:
         """Hand one arrived batch to the strategy (via recovery if armed)."""
@@ -145,6 +159,13 @@ class Server:
             self.recovery.submit(batch)
         else:
             self.strategy.submit_batch(batch)
+
+    def _on_arrival(self, batch: Batch) -> None:
+        """Entry point at a batch's arrival time: admission, then submit."""
+        if self.overload_ctl is not None:
+            self.overload_ctl.on_arrival(batch)
+        else:
+            self._submit(batch)
 
     def run(self, batches: Sequence[Batch]) -> ServingResult:
         """Serve ``batches`` to completion and return metrics."""
@@ -154,25 +175,30 @@ class Server:
         for batch in ordered:
             self.engine.schedule_at(
                 batch.arrival,
-                lambda b=batch: self._submit(b),
+                lambda b=batch: self._on_arrival(b),
                 priority=10,  # arrivals fire after same-time device events
             )
         if self.recovery is not None:
             self.recovery.arm()
+        if self.overload_ctl is not None:
+            self.overload_ctl.arm()
         self.machine.run()
         expected = sum(b.size for b in ordered)
-        shed = self.metrics.shed_requests
-        if self.metrics.num_completed + shed != expected:
-            # A simulation that returned without serving everything is a
-            # wedge, not a configuration mistake: name the stuck batches.
+        if self.metrics.num_terminal != expected:
+            # A simulation that returned without resolving every request is
+            # a wedge, not a configuration mistake: name the stuck batches.
+            shed = self.metrics.shed_requests
+            timed_out = self.metrics.timed_out_requests
             if self.recovery is not None:
                 open_ids = self.recovery.open_batch_ids()
             else:
                 open_ids = self.strategy.open_batch_ids()
             raise DeadlockError(
                 f"served {self.metrics.num_completed} of {expected} requests"
-                f"{f' ({shed} shed)' if shed else ''} — batches never "
-                f"completed: {open_ids if open_ids else 'none open (lost)'}"
+                f"{f' ({shed} shed)' if shed else ''}"
+                f"{f' ({timed_out} timed out)' if timed_out else ''} — "
+                f"batches never completed: "
+                f"{open_ids if open_ids else 'none open (lost)'}"
             )
         return ServingResult(
             strategy=self.strategy.name,
@@ -184,5 +210,8 @@ class Server:
             wall_events=self.engine.events_processed,
             resilience=(
                 self.recovery.finalize() if self.recovery is not None else None
+            ),
+            overload=(
+                self.overload_ctl.report if self.overload_ctl is not None else None
             ),
         )

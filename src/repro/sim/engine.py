@@ -64,6 +64,7 @@ class Engine:
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._live_beats = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -115,20 +116,24 @@ class Engine:
         The periodic hook the fault subsystem builds on (watchdog checks,
         recovery probes).  ``fn`` returning ``False`` stops the beat; any
         other return value continues it.  A beat never keeps an otherwise
-        idle engine alive: when the queue holds no live event besides the
-        beat itself, the beat is not rescheduled and the run quiesces —
-        a heartbeat can therefore never turn a finite simulation into an
-        infinite one.
+        idle engine alive: when the queue holds no live event besides
+        heartbeats, no beat is rescheduled and the run quiesces — beats do
+        not count *each other* as liveness, so any number of concurrent
+        heartbeats (watchdog, recovery probe, backpressure breaker) can
+        never turn a finite simulation into an infinite one.
         """
         if not math.isfinite(interval) or interval <= 0:
             raise SimulationError(f"heartbeat interval must be positive, got {interval}")
 
         def _beat() -> None:
+            self._live_beats -= 1
             if fn() is False:
                 return
-            if self.pending > 0:
+            if self.pending > self._live_beats:
+                self._live_beats += 1
                 self.schedule(interval, _beat, priority=priority)
 
+        self._live_beats += 1
         self.schedule(interval, _beat, priority=priority)
 
     # ------------------------------------------------------------------

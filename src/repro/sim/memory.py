@@ -89,6 +89,10 @@ class DeviceMemory:
         """True while ``tag`` has an active reservation."""
         return tag in self._reservations
 
+    def can_reserve(self, nbytes: float) -> bool:
+        """Whether a reservation of ``nbytes`` would fit right now."""
+        return 0 <= nbytes <= self.available
+
     def utilization(self) -> float:
         """Used fraction of capacity."""
         return self.used / self.capacity
@@ -186,6 +190,10 @@ class NodeMemoryModel:
         for dev in self.devices:
             if dev.holds(tag):
                 dev.release(tag)
+
+    def min_available(self) -> float:
+        """Free bytes on the most-loaded device — the node's admission slack."""
+        return min(d.available for d in self.devices)
 
     def _note_peak(self) -> None:
         self.peak_used = max(self.peak_used, max(d.used for d in self.devices))

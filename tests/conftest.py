@@ -1,11 +1,41 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus a per-test wall-clock guard."""
 
 from __future__ import annotations
+
+import os
+import signal
 
 import pytest
 
 from repro.hw import a100_pcie_node, v100_nvlink_node
 from repro.sim import Engine, Machine, NullContention, Trace
+
+#: Per-test wall-clock budget in seconds; 0 disables the guard.  CI sets
+#: this so a wedged simulation (a lost completion, an un-drained queue)
+#: fails the one test loudly instead of hanging the whole job.  The guard
+#: uses SIGALRM, so it is active only where that signal exists (not
+#: Windows) and only in the main thread.
+_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT_S", "0"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if _TIMEOUT_S > 0 and hasattr(signal, "SIGALRM"):
+        def _on_alarm(signum, frame):
+            raise TimeoutError(
+                f"{item.nodeid} exceeded {_TIMEOUT_S}s wall clock "
+                f"(REPRO_TEST_TIMEOUT_S)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.alarm(_TIMEOUT_S)
+        try:
+            yield
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+    else:
+        yield
 
 
 @pytest.fixture

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IncompleteRequestError
 from repro.serving import (
     Batch,
     BurstyProcess,
@@ -27,9 +27,9 @@ from repro.units import seconds
 class TestRequestBatch:
     def test_latency_requires_completion(self):
         r = Request(rid=0, arrival=10.0, seq_len=8)
-        with pytest.raises(ConfigError):
+        with pytest.raises(IncompleteRequestError):
             _ = r.latency
-        r.completion = 30.0
+        r.mark_completed(30.0)
         assert r.latency == 20.0
 
     def test_batch_padding_and_arrival(self):
@@ -212,7 +212,7 @@ class TestMetrics:
         reqs = []
         for i, lat in enumerate(latencies_us):
             r = Request(rid=i, arrival=start + i * gap, seq_len=8)
-            r.completion = r.arrival + lat
+            r.mark_completed(r.arrival + lat)
             reqs.append(r)
         return reqs
 
@@ -233,7 +233,7 @@ class TestMetrics:
 
     def test_incomplete_request_rejected(self):
         m = ServingMetrics()
-        with pytest.raises(ConfigError):
+        with pytest.raises(IncompleteRequestError):
             m.record([Request(rid=0, arrival=0.0, seq_len=8)])
 
     def test_empty_metrics(self):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IncompleteRequestError
 from repro.hw import v100_nvlink_node
 from repro.models import OPT_30B
 from repro.serving import ChatRequest, LifecycleServer, chat_workload
@@ -23,9 +23,9 @@ def run(strategy_name="intra", n=24, rate=120.0, **kw):
 class TestChatRequest:
     def test_metrics_require_progress(self):
         r = ChatRequest(rid=0, arrival=10.0, prompt_len=16, gen_tokens=4)
-        with pytest.raises(ConfigError):
+        with pytest.raises(IncompleteRequestError):
             _ = r.ttft
-        with pytest.raises(ConfigError):
+        with pytest.raises(IncompleteRequestError):
             _ = r.latency
         r.prefill_done = 30.0
         assert r.ttft == 20.0
