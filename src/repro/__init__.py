@@ -16,6 +16,8 @@ Quickstart::
     print(result.summary())
 """
 
+import logging as _logging
+
 from repro.hw import (
     A100_80GB_PCIE,
     V100_16GB,
@@ -24,6 +26,10 @@ from repro.hw import (
     a100_pcie_node,
     v100_nvlink_node,
 )
+
+# Library convention: the ``repro.*`` logger hierarchy is silent unless the
+# application installs a handler (or runs the CLI with ``--log-level``).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 
@@ -82,4 +88,16 @@ def __getattr__(name):
         from repro import errors
 
         return getattr(errors, name)
+    if name in {
+        "Observability",
+        "EventBus",
+        "MetricsRegistry",
+        "SpanBuilder",
+        "RequestSpan",
+        "merged_chrome_trace",
+        "validate_merged_trace",
+    }:
+        from repro import obs
+
+        return getattr(obs, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

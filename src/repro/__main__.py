@@ -8,14 +8,17 @@ Usage::
         --workload generative --rate 800 --requests 256 --batch 32
     python -m repro --strategy liger --rate 55 --gantt   # ASCII timeline
     python -m repro faults --straggler 1:4.0:0:400       # fault injection
+    python -m repro trace --out t.json --metrics-out m.prom  # observability
 
 For figure regeneration use ``python -m repro.experiments``; for fault
-injection and recovery see ``python -m repro faults --help``.
+injection and recovery see ``python -m repro faults --help``; for the
+merged Perfetto timeline see ``python -m repro trace --help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from repro.hw.devices import TESTBEDS
@@ -29,6 +32,10 @@ def main(argv=None) -> int:
         from repro.faults.cli import main as faults_main
 
         return faults_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Serve a large language model on a simulated multi-GPU node.",
@@ -48,6 +55,17 @@ def main(argv=None) -> int:
                         help="print an ASCII timeline of GPU 0")
     parser.add_argument("--chrome-trace", metavar="PATH",
                         help="write a Chrome trace JSON of the run")
+    obs_group = parser.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the merged Perfetto timeline (request spans + kernel "
+        "slices + control instants) to PATH")
+    obs_group.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the run's Prometheus text exposition to PATH")
+    obs_group.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="emit repro.* logs at LEVEL (e.g. INFO, WARNING) to stderr")
     overload_group = parser.add_argument_group("overload protection")
     overload_group.add_argument(
         "--max-pending", type=int, default=None, metavar="N",
@@ -64,9 +82,24 @@ def main(argv=None) -> int:
         help="fraction of free HBM the KV accountant may use (default 0.9)")
     args = parser.parse_args(argv)
 
+    if args.log_level is not None:
+        level = getattr(logging, args.log_level.upper(), None)
+        if not isinstance(level, int):
+            parser.error(f"unknown log level {args.log_level!r}")
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(name)s %(levelname)s %(message)s"))
+        repro_logger = logging.getLogger("repro")
+        repro_logger.addHandler(handler)
+        repro_logger.setLevel(level)
+
     model = MODELS[args.model]
     node = TESTBEDS[args.node](args.gpus)
-    want_trace = args.gantt or args.chrome_trace is not None
+    want_trace = args.gantt or args.chrome_trace is not None or args.trace_out is not None
+    observability = None
+    if args.trace_out is not None or args.metrics_out is not None:
+        from repro.obs import Observability
+
+        observability = Observability()
     overload = None
     if args.max_pending is not None or args.deadline_ms is not None:
         from repro.serving.overload import OverloadConfig
@@ -94,6 +127,7 @@ def main(argv=None) -> int:
         record_trace=want_trace,
         overload=overload,
         resilience=None,
+        observability=observability,
     )
     print(result.summary())
     if result.overload is not None:
@@ -111,6 +145,16 @@ def main(argv=None) -> int:
     if args.chrome_trace:
         result.trace.save_chrome_trace(args.chrome_trace)
         print(f"chrome trace written to {args.chrome_trace}")
+    if args.trace_out:
+        counts = observability.save_merged_trace(args.trace_out, trace=result.trace)
+        print(
+            f"merged trace written to {args.trace_out}: "
+            f"{counts['kernel']} kernel slice(s), {counts['span']} request "
+            f"span segment(s), {counts['instant']} control instant(s)"
+        )
+    if args.metrics_out:
+        observability.save_prometheus(args.metrics_out)
+        print(f"prometheus metrics written to {args.metrics_out}")
     return 0
 
 

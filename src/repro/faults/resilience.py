@@ -28,6 +28,7 @@ and watchdog statistics, and the faults that were active.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -35,8 +36,18 @@ from repro.errors import ConfigError, FaultError, RetryExhaustedError
 from repro.faults.injector import FaultInjector
 from repro.faults.monitor import PrincipleMonitor
 from repro.faults.watchdog import Watchdog
+from repro.obs.events import (
+    EventBus,
+    Principle1Violation,
+    RequestsShed,
+    RetryScheduled,
+    StrategyDowngraded,
+    StrategyUpgraded,
+)
 from repro.parallel.base import ParallelStrategy
 from repro.serving.request import Batch
+
+logger = logging.getLogger("repro.faults.resilience")
 
 __all__ = [
     "ResilienceConfig",
@@ -192,12 +203,14 @@ class RecoveryManager:
         fallback: Optional[ParallelStrategy] = None,
         config: Optional[ResilienceConfig] = None,
         metrics=None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.config = config or ResilienceConfig()
         self.injector = injector
         self.primary = primary
         self.fallback = fallback if self.config.enable_fallback else None
         self.metrics = metrics
+        self.bus = bus
         self.machine = injector._require_armed()
         self.report = ResilienceReport(
             faults=[f.describe() for f in injector.plan.faults]
@@ -298,15 +311,47 @@ class RecoveryManager:
         self.report.retries += 1
         if self.metrics is not None:
             self.metrics.retries += 1
+        now = self.machine.engine.now
+        logger.info(
+            "t=%.0fus batch %d launch failed (attempt %d), retrying in %.0fus",
+            now,
+            batch.batch_id,
+            attempt + 1,
+            delay,
+        )
+        if self.bus is not None:
+            self.bus.publish(
+                RetryScheduled(
+                    time_us=now,
+                    batch_id=batch.batch_id,
+                    attempt=attempt + 1,
+                    delay_us=delay,
+                )
+            )
         self.machine.engine.schedule(
             delay, lambda: self._attempt(batch, attempt + 1), priority=10
         )
 
     def _shed(self, batch: Batch) -> None:
         self.report.shed_batches.append(batch.batch_id)
+        now = self.machine.engine.now
+        logger.warning(
+            "t=%.0fus batch %d shed after exhausting retries",
+            now,
+            batch.batch_id,
+        )
         if self.metrics is not None:
             batch.shed()  # terminal state: nothing is dropped silently
             self.metrics.note_shed(batch.requests)
+            if self.bus is not None:
+                self.bus.publish(
+                    RequestsShed.from_requests(
+                        batch.requests,
+                        now,
+                        batch_id=batch.batch_id,
+                        where="retry-exhausted",
+                    )
+                )
         if self.on_shed is not None:
             self.on_shed(batch)
 
@@ -315,6 +360,12 @@ class RecoveryManager:
     # ------------------------------------------------------------------
     def _on_violation(self, round_index: int, overshoot: float, time: float) -> None:
         self._violations_since_ok += 1
+        if self.bus is not None:
+            self.bus.publish(
+                Principle1Violation(
+                    time_us=time, round_index=round_index, overshoot_us=overshoot
+                )
+            )
         if self.degraded or self.fallback is None:
             return
         if self._violations_since_ok >= self.config.violation_threshold:
@@ -335,10 +386,10 @@ class RecoveryManager:
         if self.degraded or self.fallback is None:
             return False
         self.report.overload_downgrades += 1
-        self._downgrade(self.machine.engine.now, reason)
+        self._downgrade(self.machine.engine.now, reason, overload=True)
         return True
 
-    def _downgrade(self, time: float, reason: str) -> None:
+    def _downgrade(self, time: float, reason: str, *, overload: bool = False) -> None:
         assert self.fallback is not None
         self.degraded = True
         self._degraded_since = time
@@ -347,6 +398,21 @@ class RecoveryManager:
         self.report.changes.append(
             StrategyChange("downgrade", time, self.fallback.name, reason)
         )
+        logger.warning(
+            "t=%.0fus strategy downgraded to %s: %s",
+            time,
+            self.fallback.name,
+            reason,
+        )
+        if self.bus is not None:
+            self.bus.publish(
+                StrategyDowngraded(
+                    time_us=time,
+                    strategy=self.fallback.name,
+                    reason=reason,
+                    overload=overload,
+                )
+            )
         self.machine.engine.heartbeat(
             self.config.recovery_probe_us, self._probe, priority=8
         )
@@ -367,6 +433,19 @@ class RecoveryManager:
                 "upgrade", now, self.primary.name, "no fault window active"
             )
         )
+        logger.info(
+            "t=%.0fus strategy upgraded back to %s: no fault window active",
+            now,
+            self.primary.name,
+        )
+        if self.bus is not None:
+            self.bus.publish(
+                StrategyUpgraded(
+                    time_us=now,
+                    strategy=self.primary.name,
+                    reason="no fault window active",
+                )
+            )
         return False
 
     # ------------------------------------------------------------------
@@ -397,6 +476,7 @@ def attach_recovery(
     config: Optional[ResilienceConfig] = None,
     metrics=None,
     complete_callback=None,
+    bus: Optional[EventBus] = None,
 ) -> RecoveryManager:
     """Build the full recovery stack around one bound strategy.
 
@@ -422,5 +502,5 @@ def attach_recovery(
         if complete_callback is not None:
             fallback.on_batch_complete(complete_callback)
     return RecoveryManager(
-        injector, strategy, fallback=fallback, config=cfg, metrics=metrics
+        injector, strategy, fallback=fallback, config=cfg, metrics=metrics, bus=bus
     )

@@ -1,0 +1,70 @@
+"""repro.obs — the unified observability layer.
+
+Three pieces, all derived from one structured event stream:
+
+* :mod:`repro.obs.events` — typed events with sim-timestamps for every
+  serving-layer decision (admission, dispatch, shed, preemption, retry,
+  breaker, strategy change, Principle-1 violation) on a synchronous
+  :class:`~repro.obs.events.EventBus`;
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms that
+  re-derives the :class:`~repro.serving.metrics.ServingMetrics` aggregates
+  from the bus and exports Prometheus text plus JSON snapshots;
+* :mod:`repro.obs.spans` / :mod:`repro.obs.export` — per-request spans and
+  the merged Chrome/Perfetto timeline interleaving them with kernel slices
+  and control instants.
+
+The front door is :class:`~repro.obs.observability.Observability`; pass one
+to ``serve(..., observability=obs)`` or a ``Server``/``LifecycleServer``.
+A server without one publishes nothing and behaves bit-identically to a
+build without this subsystem.
+"""
+
+from repro.obs.events import (
+    BatchCompleted,
+    BatchDispatched,
+    BatchPreempted,
+    BatchStaged,
+    BreakerClosed,
+    BreakerOpened,
+    Event,
+    EventBus,
+    Principle1Violation,
+    RequestsAdmitted,
+    RequestsShed,
+    RequestsTimedOut,
+    RetryScheduled,
+    StrategyDowngraded,
+    StrategyUpgraded,
+)
+from repro.obs.export import merged_chrome_trace, validate_merged_trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observability import Observability
+from repro.obs.spans import RequestSpan, SpanBuilder, SpanSegment
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "RequestsAdmitted",
+    "RequestsShed",
+    "RequestsTimedOut",
+    "BatchStaged",
+    "BatchDispatched",
+    "BatchPreempted",
+    "BatchCompleted",
+    "RetryScheduled",
+    "BreakerOpened",
+    "BreakerClosed",
+    "StrategyDowngraded",
+    "StrategyUpgraded",
+    "Principle1Violation",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanSegment",
+    "RequestSpan",
+    "SpanBuilder",
+    "merged_chrome_trace",
+    "validate_merged_trace",
+    "Observability",
+]

@@ -1,0 +1,134 @@
+"""The ``trace`` CLI: serve a workload and export the merged timeline.
+
+Usage::
+
+    python -m repro trace --model OPT-30B --node v100 --strategy liger \\
+        --rate 50 --requests 64 --out trace.json --metrics-out metrics.prom
+    python -m repro trace --max-pending 16 --deadline-ms 50 --out t.json
+    python -m repro trace --summarize t.json     # inspect an existing file
+
+The run serves the workload with observability armed and the kernel trace
+recorded, then writes the merged Chrome/Perfetto trace (request spans +
+kernel slices + control instants on one timeline) and, optionally, the
+Prometheus text exposition and the JSON metrics snapshot.  ``--summarize``
+instead parses an existing merged trace and prints its per-class counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ConfigError
+from repro.hw.devices import TESTBEDS
+from repro.models.specs import MODELS
+from repro.obs.export import validate_merged_trace
+from repro.obs.observability import Observability
+from repro.serving.api import STRATEGIES, serve
+
+__all__ = ["main", "summarize_trace"]
+
+
+def summarize_trace(path: str) -> str:
+    """Parse an existing merged trace and render its per-class counts."""
+    with open(path, "r", encoding="utf-8") as fh:
+        obj = json.load(fh)
+    counts = validate_merged_trace(obj)
+    total = len(obj["traceEvents"])
+    lines = [f"{path}: {total} event(s)"]
+    lines.append(f"  kernel slices:    {counts['kernel']}")
+    lines.append(f"  request spans:    {counts['span']}")
+    lines.append(f"  control instants: {counts['instant']}")
+    if counts["fault"]:
+        lines.append(f"  fault windows:    {counts['fault']}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro trace``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Serve a workload with observability armed and export "
+        "the merged Perfetto timeline and metrics.",
+    )
+    parser.add_argument("--summarize", metavar="PATH",
+                        help="summarize an existing merged trace and exit")
+    parser.add_argument("--model", default="OPT-30B", choices=sorted(MODELS))
+    parser.add_argument("--node", default="v100", choices=sorted(TESTBEDS))
+    parser.add_argument("--gpus", type=int, default=4)
+    parser.add_argument("--strategy", default="liger", choices=STRATEGIES)
+    parser.add_argument("--workload", default="general",
+                        choices=("general", "generative"))
+    parser.add_argument("--rate", type=float, default=20.0,
+                        help="arrival rate (requests/second)")
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--batch", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="trace.json", metavar="PATH",
+                        help="merged Chrome/Perfetto trace (default trace.json)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="Prometheus text exposition of the run's metrics")
+    parser.add_argument("--snapshot-out", metavar="PATH",
+                        help="JSON metrics snapshot (counters + samples)")
+    parser.add_argument("--max-pending", type=int, default=None, metavar="N",
+                        help="arm admission control with a queue of N requests")
+    parser.add_argument("--admission", default="reject",
+                        choices=("reject", "shed-oldest", "shed-by-deadline"))
+    parser.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                        help="per-request deadline after arrival (ms)")
+    args = parser.parse_args(argv)
+
+    if args.summarize is not None:
+        try:
+            print(summarize_trace(args.summarize))
+        except (OSError, json.JSONDecodeError, ConfigError) as exc:
+            parser.error(f"cannot summarize {args.summarize}: {exc}")
+        return 0
+
+    overload = None
+    if args.max_pending is not None or args.deadline_ms is not None:
+        from repro.serving.overload import OverloadConfig
+
+        overload = OverloadConfig(
+            max_pending_requests=(
+                args.max_pending if args.max_pending is not None else 64
+            ),
+            policy=args.admission,
+            default_deadline_us=(
+                args.deadline_ms * 1000.0
+                if args.deadline_ms is not None else None
+            ),
+        )
+    obs = Observability()
+    result = serve(
+        MODELS[args.model],
+        TESTBEDS[args.node](args.gpus),
+        strategy=args.strategy,
+        workload=args.workload,
+        arrival_rate=args.rate,
+        num_requests=args.requests,
+        batch_size=args.batch,
+        seed=args.seed,
+        record_trace=True,
+        overload=overload,
+        observability=obs,
+    )
+    print(result.summary())
+    counts = obs.save_merged_trace(args.out, trace=result.trace)
+    print(
+        f"merged trace written to {args.out}: "
+        f"{counts['kernel']} kernel slice(s), {counts['span']} request "
+        f"span segment(s), {counts['instant']} control instant(s)"
+    )
+    if args.metrics_out:
+        obs.save_prometheus(args.metrics_out)
+        print(f"prometheus metrics written to {args.metrics_out}")
+    if args.snapshot_out:
+        obs.save_snapshot(args.snapshot_out)
+        print(f"metrics snapshot written to {args.snapshot_out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    sys.exit(main())

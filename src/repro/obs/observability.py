@@ -1,0 +1,163 @@
+"""The observability facade a server carries when telemetry is enabled.
+
+One :class:`Observability` object bundles the bus, the registry, and the
+span builder, and owns the two exports — Prometheus text and the merged
+Perfetto timeline.  Construct one and hand it to the serving entry point::
+
+    from repro.obs import Observability
+    obs = Observability()
+    result = serve(model, node, observability=obs, record_trace=True, ...)
+    obs.save_prometheus("metrics.prom")
+    obs.save_merged_trace("trace.json", trace=result.trace)
+
+Zero-overhead when absent: a server constructed without an
+``Observability`` holds no bus, publishes nothing, arms no sampling
+heartbeat, and its timeline is bit-identical to a build without this
+subsystem (the test suite asserts it).  When present, the only engine
+interaction is a read-only gauge-sampling heartbeat on
+``Engine.heartbeat`` — it never reschedules device work, so enabling
+observability does not move a single kernel.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.events import EventBus
+from repro.obs.export import merged_chrome_trace, validate_merged_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import RequestSpan, SpanBuilder
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Bus + registry + spans for one serving run.
+
+    Parameters
+    ----------
+    sample_period_us:
+        Gauge-sampling period for the ``Engine.heartbeat`` snapshot stream
+        (default 10 ms of simulated time).
+    retain_events:
+        Keep every published event on the bus for the exporters.  Disable
+        only if you subscribe your own sinks and never export.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_period_us: float = 10_000.0,
+        retain_events: bool = True,
+    ) -> None:
+        if sample_period_us <= 0:
+            raise ConfigError("sample_period_us must be positive")
+        self.sample_period_us = sample_period_us
+        self.bus = EventBus(retain=retain_events)
+        self.registry = MetricsRegistry()
+        self.registry.bind(self.bus)
+        self.spans_builder = SpanBuilder(self.bus)
+        self._fault_windows: List[Tuple[str, float, float]] = []
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    # Server wiring
+    # ------------------------------------------------------------------
+    def register_gauge(
+        self, name: str, help: str, fn: Callable[[], float]
+    ) -> None:
+        """Expose a live reading (queue depth, KV bytes, ...) as a gauge."""
+        self.registry.gauge(name, help, fn)
+
+    def note_fault_plan(self, plan) -> None:
+        """Record the armed fault windows for the merged timeline."""
+        for fault in getattr(plan, "faults", ()):
+            end = fault.end
+            if end == float("inf"):
+                continue  # open-ended window: nothing sensible to draw
+            self._fault_windows.append((fault.describe(), fault.start, end))
+
+    def arm(self, engine) -> None:
+        """Start the gauge-sampling heartbeat (idempotent).
+
+        Sampling rides :meth:`~repro.sim.engine.Engine.heartbeat`, so it
+        quiesces with the run and never keeps an idle engine alive.
+        """
+        if self._armed:
+            return
+        self._armed = True
+        self.registry.sample_gauges(engine.now)
+
+        def _sample() -> None:
+            self.registry.sample_gauges(engine.now)
+
+        engine.heartbeat(self.sample_period_us, _sample, priority=9)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def events(self):
+        """All retained events, in publish order."""
+        return self.bus.events
+
+    def spans(self) -> List[RequestSpan]:
+        """Per-request spans reconstructed so far."""
+        return self.spans_builder.spans()
+
+    @property
+    def fault_windows(self) -> List[Tuple[str, float, float]]:
+        return list(self._fault_windows)
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        return self.registry.to_prometheus()
+
+    def save_prometheus(self, path: str) -> None:
+        """Write the Prometheus text exposition to ``path``."""
+        self.registry.save_prometheus(path)
+
+    def json_snapshot(self) -> dict:
+        """Counters, gauges, histograms, heartbeat samples, span summary."""
+        snap = self.registry.snapshot()
+        snap["spans"] = [
+            {
+                "rid": s.rid,
+                "state": s.state,
+                "arrival_us": s.arrival_us,
+                "end_us": s.end_us,
+                "queue_wait_us": s.queue_wait_us,
+                "segments": [
+                    [seg.name, seg.start_us, seg.end_us] for seg in s.segments
+                ],
+            }
+            for s in self.spans()
+        ]
+        snap["num_events"] = len(self.bus.events)
+        return snap
+
+    def save_snapshot(self, path: str) -> None:
+        """Write :meth:`json_snapshot` as indented JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.json_snapshot(), fh, indent=2)
+
+    def merged_chrome_trace(self, trace=None) -> dict:
+        """The merged timeline: request spans + kernel slices + instants."""
+        return merged_chrome_trace(
+            spans=self.spans(),
+            events=self.bus.events,
+            trace=trace,
+            fault_windows=self._fault_windows,
+        )
+
+    def save_merged_trace(self, path: str, trace=None) -> dict:
+        """Write the merged trace JSON; returns the per-class event counts."""
+        obj = self.merged_chrome_trace(trace=trace)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(obj, fh)
+        return validate_merged_trace(obj)

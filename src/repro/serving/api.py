@@ -91,6 +91,7 @@ def serve(
     resilience=None,
     overload=None,
     deadline_us: Optional[float] = None,
+    observability=None,
     **strategy_kwargs,
 ) -> ServingResult:
     """Serve a synthetic workload and return latency/throughput metrics.
@@ -110,6 +111,13 @@ def serve(
     front of the strategy; ``deadline_us`` stamps every request with an
     arrival-relative deadline (it implies a default ``OverloadConfig``
     when ``overload`` is not given).
+
+    ``observability`` (a :class:`~repro.obs.Observability`) attaches the
+    event bus, metrics registry, and span builder to the run; afterwards
+    export with ``observability.save_prometheus(...)`` and
+    ``observability.save_merged_trace(..., trace=result.trace)``.  When
+    ``None``, nothing is published and the run is bit-identical to one
+    without the observability subsystem.
     """
     if deadline_us is not None:
         from repro.serving.overload import OverloadConfig
@@ -144,5 +152,6 @@ def serve(
         fault_plan=fault_plan,
         resilience=resilience,
         overload=overload,
+        observability=observability,
     )
     return server.run(batches)

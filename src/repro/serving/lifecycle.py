@@ -43,6 +43,15 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
         ResilienceReport,
     )
 from repro.models.partition import check_placement
+from repro.obs.events import (
+    BatchCompleted,
+    BatchDispatched,
+    BatchPreempted,
+    RequestsAdmitted,
+    RequestsShed,
+    RequestsTimedOut,
+)
+from repro.obs.observability import Observability
 from repro.serving.arrival import ArrivalProcess, ConstantRate
 from repro.serving.metrics import LatencyStats
 from repro.serving.overload import AdmissionPolicy, OverloadConfig
@@ -172,6 +181,8 @@ class LifecycleResult:
     slo_attainment: Optional[float] = None
     #: Recovery-layer summary; ``None`` unless faults/resilience were enabled.
     resilience: Optional["ResilienceReport"] = None
+    #: The observability object the run was served with, if any.
+    observability: Optional[Observability] = None
 
     def summary(self) -> str:
         """One-line human summary."""
@@ -204,6 +215,7 @@ class LifecycleServer:
         fault_plan: Optional["FaultPlan"] = None,
         resilience: Optional["ResilienceConfig"] = None,
         overload: Optional[OverloadConfig] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         if strategy.model is not model or strategy.node is not node:
             raise ConfigError("strategy was built for a different model/node")
@@ -247,6 +259,12 @@ class LifecycleServer:
         self._slo_tracked = 0
         self._slo_met = 0
 
+        self.obs = observability
+        self.bus = observability.bus if observability is not None else None
+        #: Chats whose first batch has already been dispatched — queue-wait
+        #: derivations only count a chat's first hand-off.
+        self._dispatched_rids: set = set()
+
         self.recovery: Optional["RecoveryManager"] = None
         if fault_plan is not None or resilience is not None:
             from repro.faults.resilience import attach_recovery
@@ -260,12 +278,40 @@ class LifecycleServer:
                 fault_plan=fault_plan,
                 config=resilience,
                 complete_callback=self._on_batch_complete,
+                bus=self.bus,
             )
             self.recovery.on_shed = self._on_shed
+        if observability is not None:
+            if fault_plan is not None:
+                observability.note_fault_plan(fault_plan)
+            observability.register_gauge(
+                "repro_pending_queue_requests",
+                "Chats waiting in the prefill admission queue.",
+                lambda: float(len(self._prefill_queue)),
+            )
+            observability.register_gauge(
+                "repro_decode_pool_chats",
+                "Chats resident in the continuous-batching decode pool.",
+                lambda: float(len(self._decode_pool)),
+            )
+            observability.register_gauge(
+                "repro_inflight_batches",
+                "Prefill and decode batches currently at the strategy.",
+                lambda: float(
+                    len(self._prefill_inflight) + len(self._decode_inflight)
+                ),
+            )
 
     # ------------------------------------------------------------------
     def _submit(self, batch: Batch) -> None:
         """Hand one batch to the strategy (via recovery if armed)."""
+        now = self.engine.now
+        batch.mark_dispatched(now)
+        if self.bus is not None:
+            rids = set(r.rid for r in batch.requests)
+            first = not (rids & self._dispatched_rids)
+            self._dispatched_rids.update(rids)
+            self.bus.publish(BatchDispatched.from_batch(batch, now, first=first))
         if self.recovery is not None:
             self.recovery.submit(batch)
         else:
@@ -283,7 +329,7 @@ class LifecycleServer:
         if group is not None:
             for req in group:
                 self.memory.release(f"chat{req.rid}")
-                self._shed_chat(req)
+                self._shed_chat(req, where="retry-exhausted")
             self._maybe_submit_prefill()
             return
         members = self._decode_inflight.pop(batch.batch_id, [])
@@ -313,6 +359,8 @@ class LifecycleServer:
             )
         if self.recovery is not None:
             self.recovery.arm()
+        if self.obs is not None:
+            self.obs.arm(self.engine)
         self.machine.run()
         resolved = len(self._finished) + len(self._shed) + len(self._timed_out)
         if resolved != len(ordered):
@@ -357,6 +405,7 @@ class LifecycleServer:
             resilience=(
                 self.recovery.finalize() if self.recovery is not None else None
             ),
+            observability=self.obs,
         )
 
     # ------------------------------------------------------------------
@@ -366,15 +415,27 @@ class LifecycleServer:
         if req.deadline is not None:
             self._slo_tracked += 1
 
-    def _shed_chat(self, req: ChatRequest) -> None:
+    def _shed_chat(self, req: ChatRequest, *, where: str = "admission") -> None:
         req.state = RequestState.SHED
         self._shed.append(req)
         self._note_slo_terminal(req)
+        if self.bus is not None:
+            self.bus.publish(
+                RequestsShed.from_requests(
+                    [req], self.engine.now, batch_id=-1, where=where
+                )
+            )
 
-    def _time_out_chat(self, req: ChatRequest) -> None:
+    def _time_out_chat(self, req: ChatRequest, *, where: str = "pending") -> None:
         req.state = RequestState.TIMED_OUT
         self._timed_out.append(req)
         self._note_slo_terminal(req)
+        if self.bus is not None:
+            self.bus.publish(
+                RequestsTimedOut.from_requests(
+                    [req], self.engine.now, batch_id=-1, where=where
+                )
+            )
 
     # ------------------------------------------------------------------
     # Prefill path
@@ -386,6 +447,15 @@ class LifecycleServer:
                 req.deadline = req.arrival + cfg.default_deadline_us
             if not self._admit(req):
                 return
+        if self.bus is not None:
+            self.bus.publish(
+                RequestsAdmitted(
+                    time_us=self.engine.now,
+                    batch_id=-1,
+                    rids=(req.rid,),
+                    arrivals_us=(req.arrival,),
+                )
+            )
         self._prefill_queue.append(req)
         self._maybe_submit_prefill()
 
@@ -473,6 +543,12 @@ class LifecycleServer:
             self.memory.release(f"chat{victim.rid}")
             self._prefill_queue.append(victim)
             self.preemptions += 1
+            if self.bus is not None:
+                self.bus.publish(
+                    BatchPreempted(
+                        time_us=self.engine.now, batch_id=-1, size=1
+                    )
+                )
             if self._try_reserve_chat(req):
                 return True
         return False  # unreachable given the precheck; kept defensive
@@ -539,7 +615,7 @@ class LifecycleServer:
         for req in expired:
             self._decode_pool.remove(req)
             self.memory.release(f"chat{req.rid}")
-            self._time_out_chat(req)
+            self._time_out_chat(req, where="decode-pool")
 
     def _maybe_submit_decode(self) -> None:
         if self.overload is not None:
@@ -566,18 +642,44 @@ class LifecycleServer:
     def _on_batch_complete(self, batch: Batch, time: float) -> None:
         if batch.batch_id in self._prefill_inflight:
             group = self._prefill_inflight.pop(batch.batch_id)
+            if self.bus is not None:
+                # Intermediate completion: the batch retired but no chat is
+                # terminal yet (completed_rids stays empty).
+                self.bus.publish(
+                    BatchCompleted(
+                        time_us=time,
+                        batch_id=batch.batch_id,
+                        rids=tuple(r.rid for r in group),
+                    )
+                )
             for req in group:
                 if req.prefill_done is None:  # a re-prefill keeps its TTFT
                     req.prefill_done = time
                 if self.overload is not None and req.deadline_passed(time):
                     # Expired while prefilling: record the miss, free the KV.
                     self.memory.release(f"chat{req.rid}")
-                    self._time_out_chat(req)
+                    self._time_out_chat(req, where="prefill")
                     continue
                 self._decode_pool.append(req)
             self._maybe_submit_decode()
             return
         members = self._decode_inflight.pop(batch.batch_id)
+        if self.bus is not None:
+            finished = [r for r in members if r.tokens_done + 1 >= r.gen_tokens]
+            tracked = [r for r in finished if r.deadline is not None]
+            met = sum(1 for r in tracked if time <= r.deadline)
+            self.bus.publish(
+                BatchCompleted(
+                    time_us=time,
+                    batch_id=batch.batch_id,
+                    rids=tuple(r.rid for r in members),
+                    completed_rids=tuple(r.rid for r in finished),
+                    latencies_us=tuple(time - r.arrival for r in finished),
+                    slo_tracked=len(tracked),
+                    slo_met=met,
+                    deadline_misses=len(tracked) - met,
+                )
+            )
         for req in members:
             req.tokens_done += 1
             self.tokens_generated += 1

@@ -29,18 +29,26 @@ __all__ = ["LatencyStats", "ServingMetrics"]
 
 @dataclass(frozen=True)
 class LatencyStats:
-    """Summary statistics over request latencies (all in milliseconds)."""
+    """Summary statistics over request latencies (all in milliseconds).
+
+    ``count`` is the number of latencies summarized; an empty input yields
+    the all-zero summary with ``count == 0`` rather than raising, so a run
+    that shed or timed out every request still reports cleanly.
+    """
 
     mean: float
     p50: float
     p95: float
     p99: float
     max: float
+    count: int = 0
 
     @staticmethod
     def from_latencies_us(latencies: Sequence[float]) -> "LatencyStats":
         if not len(latencies):
-            raise ConfigError("no latencies to summarize")
+            return LatencyStats(
+                mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0, count=0
+            )
         arr = np.asarray(latencies, dtype=float) / 1e3  # µs → ms
         return LatencyStats(
             mean=float(arr.mean()),
@@ -48,6 +56,7 @@ class LatencyStats:
             p95=float(np.percentile(arr, 95)),
             p99=float(np.percentile(arr, 99)),
             max=float(arr.max()),
+            count=len(arr),
         )
 
 
@@ -145,11 +154,18 @@ class ServingMetrics:
         return len(self.completed) / span
 
     def pending_time_ms(self) -> float:
-        """Mean pending time (arrival → batch start isn't visible here, so
-        this reports latency minus the *minimum* observed latency as a rough
-        queueing indicator; exact pending time lives in the trace)."""
-        lats = [r.latency for r in self.completed]
-        if not lats:
+        """Mean pending time (queueing + batching) of completed requests, ms.
+
+        Exact: every request is stamped with its first hand-off to the
+        strategy (:attr:`~repro.serving.request.Request.dispatched_at`), so
+        pending time is ``dispatched_at - arrival`` per request — no longer
+        the old "latency minus minimum latency" heuristic.
+        """
+        waits = [
+            r.dispatched_at - r.arrival
+            for r in self.completed
+            if r.dispatched_at is not None
+        ]
+        if not waits:
             return 0.0
-        floor = min(lats)
-        return float(np.mean([l - floor for l in lats])) / 1e3
+        return float(np.mean(waits)) / 1e3

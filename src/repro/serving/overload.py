@@ -41,6 +41,7 @@ The whole layer is zero-cost when disabled: a server constructed without an
 from __future__ import annotations
 
 import enum
+import logging
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
@@ -49,9 +50,21 @@ from repro.errors import ConfigError, OutOfMemoryError
 from repro.hw.devices import NodeSpec
 from repro.models.kvcache import batch_kv_bytes
 from repro.models.specs import ModelSpec
+from repro.obs.events import (
+    BatchPreempted,
+    BatchStaged,
+    BreakerClosed,
+    BreakerOpened,
+    EventBus,
+    RequestsAdmitted,
+    RequestsShed,
+    RequestsTimedOut,
+)
 from repro.serving.metrics import ServingMetrics
 from repro.serving.request import Batch, Phase, Request
 from repro.sim.engine import Engine
+
+logger = logging.getLogger("repro.serving.overload")
 
 __all__ = [
     "AdmissionPolicy",
@@ -278,11 +291,14 @@ class OverloadController:
         engine: Engine,
         metrics: ServingMetrics,
         downstream: Callable[[Batch], None],
+        *,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.config = config
         self.engine = engine
         self.metrics = metrics
         self.downstream = downstream
+        self.bus = bus
         self.accountant: Optional[KVCacheAccountant] = None
         if config.enable_kv_accounting:
             self.accountant = KVCacheAccountant(
@@ -359,13 +375,15 @@ class OverloadController:
                 if r.deadline is None:
                     r.deadline = r.arrival + cfg.default_deadline_us
         if self.breaker_open:
-            self._shed_batch(batch)  # fail fast: the system is saturated
+            self._shed_batch(batch, where="breaker")  # fail fast: saturated
             return
         if self._expire_if_due(batch, now):
             return
         if not self._make_room(batch):
             return  # policy shed the arrival itself
         self.report.admitted_requests += batch.size
+        if self.bus is not None:
+            self.bus.publish(RequestsAdmitted.from_batch(batch, now))
         self._pending.append(batch)
         self.report.peak_pending_requests = max(
             self.report.peak_pending_requests, self.queue_depth
@@ -431,6 +449,14 @@ class OverloadController:
                 self._dispatch(head)
             else:
                 self._staged[head.batch_id] = head
+                if self.bus is not None:
+                    self.bus.publish(
+                        BatchStaged(
+                            time_us=now,
+                            batch_id=head.batch_id,
+                            size=head.size,
+                        )
+                    )
 
     def _admit_kv(self, batch: Batch) -> bool:
         """Charge ``batch``'s KV, preempting young staged decodes if needed."""
@@ -476,6 +502,21 @@ class OverloadController:
         self.report.peak_pending_requests = max(
             self.report.peak_pending_requests, self.queue_depth
         )
+        logger.info(
+            "t=%.0fus preempted staged decode batch %d (%d request(s)) "
+            "under KV pressure",
+            self.engine.now,
+            batch.batch_id,
+            batch.size,
+        )
+        if self.bus is not None:
+            self.bus.publish(
+                BatchPreempted(
+                    time_us=self.engine.now,
+                    batch_id=batch.batch_id,
+                    size=batch.size,
+                )
+            )
 
     def _dispatch(self, batch: Batch) -> None:
         self._dispatched[batch.batch_id] = batch
@@ -505,10 +546,19 @@ class OverloadController:
     # ------------------------------------------------------------------
     # Terminal bookkeeping
     # ------------------------------------------------------------------
-    def _shed_batch(self, batch: Batch) -> None:
+    def _shed_batch(self, batch: Batch, *, where: str = "admission") -> None:
         batch.shed()
         self.metrics.note_shed(batch.requests)
         self.report.shed_requests += batch.size
+        if self.bus is not None:
+            self.bus.publish(
+                RequestsShed.from_requests(
+                    batch.requests,
+                    self.engine.now,
+                    batch_id=batch.batch_id,
+                    where=where,
+                )
+            )
 
     def _expire_if_due(self, batch: Batch, now: float) -> bool:
         if batch.deadline is not None and now > batch.deadline:
@@ -529,9 +579,24 @@ class OverloadController:
                 collateral.append(r)
         self.metrics.note_timed_out(expired)
         self.report.timed_out_requests += len(expired)
+        if self.bus is not None and expired:
+            self.bus.publish(
+                RequestsTimedOut.from_requests(
+                    expired, now, batch_id=batch.batch_id, where="pending"
+                )
+            )
         if collateral:
             self.metrics.note_shed(collateral)
             self.report.shed_requests += len(collateral)
+            if self.bus is not None:
+                self.bus.publish(
+                    RequestsShed.from_requests(
+                        collateral,
+                        now,
+                        batch_id=batch.batch_id,
+                        where="collateral",
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Backpressure circuit breaker
@@ -590,15 +655,26 @@ class OverloadController:
         self.report.events.append(
             BreakerEvent(self.engine.now, "open", reason)
         )
+        logger.warning(
+            "t=%.0fus backpressure breaker OPEN: %s", self.engine.now, reason
+        )
+        if self.bus is not None:
+            self.bus.publish(
+                BreakerOpened(time_us=self.engine.now, reason=reason)
+            )
         if self.recovery is not None:
             self.recovery.overload_downgrade(f"backpressure: {reason}")
 
     def _close_breaker(self, depth: int) -> None:
         self.breaker_open = False
+        reason = f"queue drained to {depth} <= {self._low}"
         self.report.events.append(
-            BreakerEvent(
-                self.engine.now,
-                "closed",
-                f"queue drained to {depth} <= {self._low}",
-            )
+            BreakerEvent(self.engine.now, "closed", reason)
         )
+        logger.info(
+            "t=%.0fus backpressure breaker closed: %s", self.engine.now, reason
+        )
+        if self.bus is not None:
+            self.bus.publish(
+                BreakerClosed(time_us=self.engine.now, reason=reason)
+            )

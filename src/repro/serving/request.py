@@ -66,6 +66,10 @@ class Request:
     #: Stamped by the Batch that adopts this request (−1 until batched);
     #: lets post-run analysis join request metrics with trace rows.
     batch_id: int = -1
+    #: Simulated time (µs) of the request's *first* hand-off to a strategy;
+    #: ``None`` while still queued (or if it never dispatched).  Pending
+    #: time is exactly ``dispatched_at - arrival``.
+    dispatched_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.seq_len < 1:
@@ -166,6 +170,13 @@ class Batch:
         """Tightest member deadline, or ``None`` if no member carries one."""
         deadlines = [r.deadline for r in self.requests if r.deadline is not None]
         return min(deadlines) if deadlines else None
+
+    def mark_dispatched(self, time: float) -> None:
+        """Stamp each member's first strategy hand-off (idempotent, so a
+        retry or preemption re-dispatch never moves the original stamp)."""
+        for r in self.requests:
+            if r.dispatched_at is None:
+                r.dispatched_at = time
 
     def complete(self, time: float) -> None:
         """Stamp every member request complete at ``time``."""

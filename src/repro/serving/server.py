@@ -27,6 +27,8 @@ if TYPE_CHECKING:  # avoid a circular import; the server only type-hints it
         ResilienceReport,
     )
     from repro.parallel.base import ParallelStrategy
+from repro.obs.events import BatchCompleted, BatchDispatched, RequestsAdmitted
+from repro.obs.observability import Observability
 from repro.serving.overload import OverloadConfig, OverloadController, OverloadReport
 from repro.serving.request import Batch
 from repro.sim.contention import ContentionModel, default_contention_for
@@ -53,6 +55,9 @@ class ServingResult:
     resilience: Optional["ResilienceReport"] = None
     #: Overload-layer summary; ``None`` unless admission control was enabled.
     overload: Optional[OverloadReport] = None
+    #: The observability object the run was served with (bus + registry +
+    #: spans); ``None`` unless one was passed in.
+    observability: Optional[Observability] = None
 
     @property
     def avg_latency_ms(self) -> float:
@@ -91,6 +96,7 @@ class Server:
         fault_plan: Optional["FaultPlan"] = None,
         resilience: Optional["ResilienceConfig"] = None,
         overload: Optional[OverloadConfig] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         if strategy.model is not model or strategy.node is not node:
             raise ConfigError("strategy was built for a different model/node")
@@ -109,6 +115,11 @@ class Server:
         )
         self.host = Host(self.machine)
         self.metrics = ServingMetrics()
+        self.obs = observability
+        #: The event bus, or ``None`` — every publish site is guarded by
+        #: ``if self.bus is not None`` so a plain server pays one attribute
+        #: check and allocates nothing (the zero-cost convention).
+        self.bus = observability.bus if observability is not None else None
         strategy.bind(self.machine, self.host)
         strategy.on_batch_complete(self._on_batch_complete)
         self.recovery: Optional["RecoveryManager"] = None
@@ -117,11 +128,21 @@ class Server:
         self.overload_ctl: Optional[OverloadController] = None
         if overload is not None:
             self.overload_ctl = OverloadController(
-                overload, model, node, self.engine, self.metrics, self._submit
+                overload,
+                model,
+                node,
+                self.engine,
+                self.metrics,
+                self._submit,
+                bus=self.bus,
             )
             if self.recovery is not None:
                 self.overload_ctl.attach_recovery(self.recovery)
                 self.recovery.on_shed = self.overload_ctl.on_downstream_shed
+        if observability is not None:
+            if fault_plan is not None:
+                observability.note_fault_plan(fault_plan)
+            self._register_gauges(observability)
 
     def _init_recovery(self, fault_plan, resilience) -> None:
         """Arm the fault injector and recovery policy around the strategy.
@@ -144,17 +165,46 @@ class Server:
             config=resilience,
             metrics=self.metrics,
             complete_callback=self._on_batch_complete,
+            bus=self.bus,
         )
+
+    def _register_gauges(self, obs: Observability) -> None:
+        """Expose live pipeline readings for the sampling heartbeat."""
+        ctl = self.overload_ctl
+        if ctl is not None:
+            obs.register_gauge(
+                "repro_pending_queue_requests",
+                "Requests waiting in the bounded pending queue.",
+                lambda: float(ctl.queue_depth),
+            )
+            obs.register_gauge(
+                "repro_inflight_batches",
+                "Batches staged or dispatched downstream.",
+                lambda: float(ctl.inflight_batches),
+            )
+            if ctl.accountant is not None:
+                acct = ctl.accountant
+                obs.register_gauge(
+                    "repro_kv_used_bytes",
+                    "Per-GPU KV bytes charged by in-flight batches.",
+                    lambda: float(acct.used),
+                )
 
     # ------------------------------------------------------------------
     def _on_batch_complete(self, batch: Batch, time: float) -> None:
         batch.complete(time)
         self.metrics.record(batch.requests)
+        if self.bus is not None:
+            self.bus.publish(BatchCompleted.from_batch(batch, time))
         if self.overload_ctl is not None:
             self.overload_ctl.on_complete(batch, time)
 
     def _submit(self, batch: Batch) -> None:
         """Hand one arrived batch to the strategy (via recovery if armed)."""
+        now = self.engine.now
+        batch.mark_dispatched(now)
+        if self.bus is not None:
+            self.bus.publish(BatchDispatched.from_batch(batch, now))
         if self.recovery is not None:
             self.recovery.submit(batch)
         else:
@@ -165,6 +215,10 @@ class Server:
         if self.overload_ctl is not None:
             self.overload_ctl.on_arrival(batch)
         else:
+            if self.bus is not None:
+                self.bus.publish(
+                    RequestsAdmitted.from_batch(batch, self.engine.now)
+                )
             self._submit(batch)
 
     def run(self, batches: Sequence[Batch]) -> ServingResult:
@@ -182,6 +236,8 @@ class Server:
             self.recovery.arm()
         if self.overload_ctl is not None:
             self.overload_ctl.arm()
+        if self.obs is not None:
+            self.obs.arm(self.engine)
         self.machine.run()
         expected = sum(b.size for b in ordered)
         if self.metrics.num_terminal != expected:
@@ -214,4 +270,5 @@ class Server:
             overload=(
                 self.overload_ctl.report if self.overload_ctl is not None else None
             ),
+            observability=self.obs,
         )

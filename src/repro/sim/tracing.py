@@ -155,8 +155,12 @@ class Trace:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
-    def to_chrome_trace(self) -> str:
-        """Serialize as a Chrome trace-event JSON string."""
+    def chrome_events(self) -> List[dict]:
+        """Kernel rows as Chrome trace-event dicts (one slice per kernel).
+
+        The merged exporter (:mod:`repro.obs.export`) interleaves these
+        with request spans and control instants on one timeline.
+        """
         events = []
         for r in self.rows:
             events.append(
@@ -177,7 +181,11 @@ class Trace:
                     },
                 }
             )
-        return json.dumps({"traceEvents": events})
+        return events
+
+    def to_chrome_trace(self) -> str:
+        """Serialize as a Chrome trace-event JSON string."""
+        return json.dumps({"traceEvents": self.chrome_events()})
 
     def save_chrome_trace(self, path: str) -> None:
         """Write the Chrome trace JSON to ``path``."""

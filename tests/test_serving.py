@@ -237,10 +237,31 @@ class TestMetrics:
             m.record([Request(rid=0, arrival=0.0, seq_len=8)])
 
     def test_empty_metrics(self):
+        # A run that completed nothing (everything shed/timed out) must
+        # still summarize cleanly: all-zero stats, not an exception.
         m = ServingMetrics()
         assert m.throughput() == 0.0
-        with pytest.raises(ConfigError):
-            m.latency_stats()
+        stats = m.latency_stats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.p99 == 0.0
+        assert stats.max == 0.0
+        assert m.avg_latency_ms == 0.0
+        assert m.pending_time_ms() == 0.0
+
+    def test_latency_stats_count(self):
+        m = ServingMetrics()
+        m.record(self._completed([1e4, 2e4, 3e4]))
+        assert m.latency_stats().count == 3
+
+    def test_pending_time_exact(self):
+        # Pending time is dispatched_at − arrival, not a latency heuristic.
+        m = ServingMetrics()
+        reqs = self._completed([5e4, 5e4])
+        reqs[0].dispatched_at = reqs[0].arrival + 2e3  # 2 ms queued
+        reqs[1].dispatched_at = reqs[1].arrival + 4e3  # 4 ms queued
+        m.record(reqs)
+        assert m.pending_time_ms() == pytest.approx(3.0)
 
 
 @given(
