@@ -11,8 +11,8 @@ Run:
 """
 
 from repro import GLM_130B, a100_pcie_node, serve
-from repro.experiments.figures import PINNED_FACTORS
 from repro.core import LigerConfig
+from repro.experiments.figures import PINNED_FACTORS
 
 
 def main() -> None:

@@ -61,6 +61,10 @@ def __getattr__(name):
         "OverloadReport",
         "KVCacheAccountant",
         "RequestState",
+        "RunResult",
+        "ServingConfig",
+        "ServingSession",
+        "SubmissionPipeline",
     }:
         from repro import serving
 

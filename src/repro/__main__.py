@@ -18,12 +18,17 @@ merged Perfetto timeline see ``python -m repro trace --help``.
 from __future__ import annotations
 
 import argparse
-import logging
 import sys
 
-from repro.hw.devices import TESTBEDS
-from repro.models.specs import MODELS
-from repro.serving.api import STRATEGIES, serve
+from repro.cli import (
+    install_log_handler,
+    overload_config_from_args,
+    overload_parent,
+    resolve_model_node,
+    workload_parent,
+)
+from repro.serving.api import serve
+from repro.serving.session import ServingConfig
 
 
 def main(argv=None) -> int:
@@ -39,18 +44,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Serve a large language model on a simulated multi-GPU node.",
+        parents=[workload_parent(), overload_parent(kv_frac=True)],
     )
-    parser.add_argument("--model", default="OPT-30B", choices=sorted(MODELS))
-    parser.add_argument("--node", default="v100", choices=sorted(TESTBEDS))
-    parser.add_argument("--gpus", type=int, default=4)
-    parser.add_argument("--strategy", default="liger", choices=STRATEGIES)
-    parser.add_argument("--workload", default="general",
-                        choices=("general", "generative"))
-    parser.add_argument("--rate", type=float, default=20.0,
-                        help="arrival rate (requests/second)")
-    parser.add_argument("--requests", type=int, default=64)
-    parser.add_argument("--batch", type=int, default=2)
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--gantt", action="store_true",
                         help="print an ASCII timeline of GPU 0")
     parser.add_argument("--chrome-trace", metavar="PATH",
@@ -66,55 +61,17 @@ def main(argv=None) -> int:
     obs_group.add_argument(
         "--log-level", default=None, metavar="LEVEL",
         help="emit repro.* logs at LEVEL (e.g. INFO, WARNING) to stderr")
-    overload_group = parser.add_argument_group("overload protection")
-    overload_group.add_argument(
-        "--max-pending", type=int, default=None, metavar="N",
-        help="enable admission control with a pending queue of N requests")
-    overload_group.add_argument(
-        "--admission", default="reject",
-        choices=("reject", "shed-oldest", "shed-by-deadline"),
-        help="policy when the pending queue is full (with --max-pending)")
-    overload_group.add_argument(
-        "--deadline-ms", type=float, default=None, metavar="MS",
-        help="per-request deadline in milliseconds after arrival")
-    overload_group.add_argument(
-        "--kv-frac", type=float, default=0.9, metavar="F",
-        help="fraction of free HBM the KV accountant may use (default 0.9)")
     args = parser.parse_args(argv)
 
-    if args.log_level is not None:
-        level = getattr(logging, args.log_level.upper(), None)
-        if not isinstance(level, int):
-            parser.error(f"unknown log level {args.log_level!r}")
-        handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(logging.Formatter("%(name)s %(levelname)s %(message)s"))
-        repro_logger = logging.getLogger("repro")
-        repro_logger.addHandler(handler)
-        repro_logger.setLevel(level)
+    install_log_handler(args.log_level, parser)
 
-    model = MODELS[args.model]
-    node = TESTBEDS[args.node](args.gpus)
+    model, node = resolve_model_node(args)
     want_trace = args.gantt or args.chrome_trace is not None or args.trace_out is not None
     observability = None
     if args.trace_out is not None or args.metrics_out is not None:
         from repro.obs import Observability
 
         observability = Observability()
-    overload = None
-    if args.max_pending is not None or args.deadline_ms is not None:
-        from repro.serving.overload import OverloadConfig
-
-        overload = OverloadConfig(
-            max_pending_requests=(
-                args.max_pending if args.max_pending is not None else 64
-            ),
-            policy=args.admission,
-            default_deadline_us=(
-                args.deadline_ms * 1000.0
-                if args.deadline_ms is not None else None
-            ),
-            kv_capacity_frac=args.kv_frac,
-        )
     result = serve(
         model,
         node,
@@ -124,10 +81,11 @@ def main(argv=None) -> int:
         num_requests=args.requests,
         batch_size=args.batch,
         seed=args.seed,
-        record_trace=want_trace,
-        overload=overload,
-        resilience=None,
-        observability=observability,
+        config=ServingConfig(
+            record_trace=want_trace,
+            overload=overload_config_from_args(args),
+            observability=observability,
+        ),
     )
     print(result.summary())
     if result.overload is not None:

@@ -1,0 +1,130 @@
+"""Shared CLI building blocks for the ``repro`` entry points.
+
+The three entry points (``python -m repro``, ``python -m repro faults``,
+``python -m repro trace``) serve the same kind of workload and accept the
+same model/node/workload and overload flags; this module defines them once
+as argparse *parent parsers* so each subcommand only declares what is
+unique to it (its defaults and its own flags).
+
+Usage::
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro ...",
+        parents=[workload_parent(), overload_parent(kv_frac=True)],
+    )
+    args = parser.parse_args(argv)
+    model, node = resolve_model_node(args)
+    overload = overload_config_from_args(args)
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from typing import Optional
+
+from repro.hw.devices import TESTBEDS
+from repro.models.specs import MODELS
+from repro.serving.api import STRATEGIES
+
+__all__ = [
+    "workload_parent",
+    "overload_parent",
+    "resolve_model_node",
+    "overload_config_from_args",
+    "install_log_handler",
+]
+
+
+def workload_parent(
+    *,
+    model_default: str = "OPT-30B",
+    rate_default: float = 20.0,
+    requests_default: int = 64,
+    batch_default: int = 2,
+    seed_default: int = 0,
+) -> argparse.ArgumentParser:
+    """The model/node/strategy/workload flags every subcommand shares.
+
+    Defaults differ per subcommand (e.g. the faults CLI serves a smaller
+    model at a higher rate), so each caller passes its own.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--model", default=model_default, choices=sorted(MODELS))
+    parent.add_argument("--node", default="v100", choices=sorted(TESTBEDS))
+    parent.add_argument("--gpus", type=int, default=4)
+    parent.add_argument("--strategy", default="liger", choices=STRATEGIES)
+    parent.add_argument("--workload", default="general",
+                        choices=("general", "generative"))
+    parent.add_argument("--rate", type=float, default=rate_default,
+                        help="arrival rate (requests/second)")
+    parent.add_argument("--requests", type=int, default=requests_default)
+    parent.add_argument("--batch", type=int, default=batch_default)
+    parent.add_argument("--seed", type=int, default=seed_default)
+    return parent
+
+
+def overload_parent(*, kv_frac: bool = False) -> argparse.ArgumentParser:
+    """The admission-control flags (``--max-pending``/``--admission``/
+    ``--deadline-ms``, plus ``--kv-frac`` where KV accounting applies)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("overload protection")
+    group.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="enable admission control with a pending queue of N requests")
+    group.add_argument(
+        "--admission", default="reject",
+        choices=("reject", "shed-oldest", "shed-by-deadline"),
+        help="policy when the pending queue is full (with --max-pending)")
+    group.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline in milliseconds after arrival")
+    if kv_frac:
+        group.add_argument(
+            "--kv-frac", type=float, default=0.9, metavar="F",
+            help="fraction of free HBM the KV accountant may use (default 0.9)")
+    return parent
+
+
+def resolve_model_node(args: argparse.Namespace):
+    """Turn the parsed ``--model``/``--node``/``--gpus`` flags into specs."""
+    return MODELS[args.model], TESTBEDS[args.node](args.gpus)
+
+
+def overload_config_from_args(args: argparse.Namespace):
+    """Build the :class:`~repro.serving.overload.OverloadConfig` the parsed
+    overload flags describe, or ``None`` when none were given."""
+    if args.max_pending is None and args.deadline_ms is None:
+        return None
+    from repro.serving.overload import OverloadConfig
+
+    kwargs = {}
+    if getattr(args, "kv_frac", None) is not None:
+        kwargs["kv_capacity_frac"] = args.kv_frac
+    return OverloadConfig(
+        max_pending_requests=(
+            args.max_pending if args.max_pending is not None else 64
+        ),
+        policy=args.admission,
+        default_deadline_us=(
+            args.deadline_ms * 1000.0 if args.deadline_ms is not None else None
+        ),
+        **kwargs,
+    )
+
+
+def install_log_handler(
+    level_name: Optional[str], parser: argparse.ArgumentParser
+) -> None:
+    """Attach a stderr handler to the ``repro.*`` logger hierarchy."""
+    if level_name is None:
+        return
+    level = getattr(logging, level_name.upper(), None)
+    if not isinstance(level, int):
+        parser.error(f"unknown log level {level_name!r}")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(name)s %(levelname)s %(message)s"))
+    repro_logger = logging.getLogger("repro")
+    repro_logger.addHandler(handler)
+    repro_logger.setLevel(level)

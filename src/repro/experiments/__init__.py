@@ -5,6 +5,12 @@ per-experiment index in DESIGN.md); ``python -m repro.experiments`` runs them
 from the command line.
 """
 
+from repro.experiments.analysis import (
+    comm_lag_events,
+    latency_breakdown,
+    serving_report,
+    utilization_report,
+)
 from repro.experiments.figures import (
     ALL_FIGURES,
     FigureResult,
@@ -21,12 +27,6 @@ from repro.experiments.figures import (
     headline,
     lifecycle,
     table1,
-)
-from repro.experiments.analysis import (
-    comm_lag_events,
-    latency_breakdown,
-    serving_report,
-    utilization_report,
 )
 from repro.experiments.harness import ExperimentRecord, ExperimentRunner
 from repro.experiments.reporting import format_kv, format_table

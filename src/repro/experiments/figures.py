@@ -41,9 +41,9 @@ from repro.models.specs import (
 from repro.models.transformer import prefill_ops
 from repro.profiling.contention_profiler import ContentionFactors
 from repro.profiling.profiler import OpProfiler
+from repro.serving.api import make_strategy
 from repro.serving.request import Batch, Phase, Request
 from repro.serving.server import Server
-from repro.serving.api import make_strategy
 from repro.sim.interconnect import NcclConfig
 
 __all__ = [

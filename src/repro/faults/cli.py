@@ -20,12 +20,11 @@ import argparse
 import sys
 from typing import List, Sequence, Tuple
 
+from repro.cli import resolve_model_node, workload_parent
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan, plan_from_specs
 from repro.faults.resilience import ResilienceConfig
-from repro.hw.devices import TESTBEDS
-from repro.models.specs import MODELS
-from repro.serving.api import STRATEGIES, serve
+from repro.serving.api import serve
 
 __all__ = ["build_plan", "main"]
 
@@ -86,18 +85,13 @@ def main(argv=None) -> int:
         prog="python -m repro faults",
         description="Serve a workload under injected faults and report "
         "the recovery layer's behaviour.",
+        parents=[
+            workload_parent(
+                model_default="OPT-13B", rate_default=40.0,
+                requests_default=32, seed_default=1,
+            )
+        ],
     )
-    parser.add_argument("--model", default="OPT-13B", choices=sorted(MODELS))
-    parser.add_argument("--node", default="v100", choices=sorted(TESTBEDS))
-    parser.add_argument("--gpus", type=int, default=4)
-    parser.add_argument("--strategy", default="liger", choices=STRATEGIES)
-    parser.add_argument("--workload", default="general",
-                        choices=("general", "generative"))
-    parser.add_argument("--rate", type=float, default=40.0,
-                        help="arrival rate (requests/second)")
-    parser.add_argument("--requests", type=int, default=32)
-    parser.add_argument("--batch", type=int, default=2)
-    parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--straggler", action="append", default=[],
                         metavar="GPU:FACTOR:START:END",
                         help="slow one GPU's compute kernels (window in ms)")
@@ -134,9 +128,10 @@ def main(argv=None) -> int:
         enable_fallback=not args.no_fallback,
         enable_watchdog=not args.no_watchdog,
     )
+    model, node = resolve_model_node(args)
     result = serve(
-        MODELS[args.model],
-        TESTBEDS[args.node](args.gpus),
+        model,
+        node,
         strategy=args.strategy,
         workload=args.workload,
         arrival_rate=args.rate,

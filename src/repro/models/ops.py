@@ -18,7 +18,7 @@ Ops come in a handful of flavours, selected by ``op``:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.errors import ConfigError

@@ -20,12 +20,17 @@ import argparse
 import json
 import sys
 
+from repro.cli import (
+    overload_config_from_args,
+    overload_parent,
+    resolve_model_node,
+    workload_parent,
+)
 from repro.errors import ConfigError
-from repro.hw.devices import TESTBEDS
-from repro.models.specs import MODELS
 from repro.obs.export import validate_merged_trace
 from repro.obs.observability import Observability
-from repro.serving.api import STRATEGIES, serve
+from repro.serving.api import serve
+from repro.serving.session import ServingConfig
 
 __all__ = ["main", "summarize_trace"]
 
@@ -51,32 +56,16 @@ def main(argv=None) -> int:
         prog="python -m repro trace",
         description="Serve a workload with observability armed and export "
         "the merged Perfetto timeline and metrics.",
+        parents=[workload_parent(), overload_parent()],
     )
     parser.add_argument("--summarize", metavar="PATH",
                         help="summarize an existing merged trace and exit")
-    parser.add_argument("--model", default="OPT-30B", choices=sorted(MODELS))
-    parser.add_argument("--node", default="v100", choices=sorted(TESTBEDS))
-    parser.add_argument("--gpus", type=int, default=4)
-    parser.add_argument("--strategy", default="liger", choices=STRATEGIES)
-    parser.add_argument("--workload", default="general",
-                        choices=("general", "generative"))
-    parser.add_argument("--rate", type=float, default=20.0,
-                        help="arrival rate (requests/second)")
-    parser.add_argument("--requests", type=int, default=64)
-    parser.add_argument("--batch", type=int, default=2)
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="trace.json", metavar="PATH",
                         help="merged Chrome/Perfetto trace (default trace.json)")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="Prometheus text exposition of the run's metrics")
     parser.add_argument("--snapshot-out", metavar="PATH",
                         help="JSON metrics snapshot (counters + samples)")
-    parser.add_argument("--max-pending", type=int, default=None, metavar="N",
-                        help="arm admission control with a queue of N requests")
-    parser.add_argument("--admission", default="reject",
-                        choices=("reject", "shed-oldest", "shed-by-deadline"))
-    parser.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
-                        help="per-request deadline after arrival (ms)")
     args = parser.parse_args(argv)
 
     if args.summarize is not None:
@@ -86,33 +75,22 @@ def main(argv=None) -> int:
             parser.error(f"cannot summarize {args.summarize}: {exc}")
         return 0
 
-    overload = None
-    if args.max_pending is not None or args.deadline_ms is not None:
-        from repro.serving.overload import OverloadConfig
-
-        overload = OverloadConfig(
-            max_pending_requests=(
-                args.max_pending if args.max_pending is not None else 64
-            ),
-            policy=args.admission,
-            default_deadline_us=(
-                args.deadline_ms * 1000.0
-                if args.deadline_ms is not None else None
-            ),
-        )
     obs = Observability()
+    model, node = resolve_model_node(args)
     result = serve(
-        MODELS[args.model],
-        TESTBEDS[args.node](args.gpus),
+        model,
+        node,
         strategy=args.strategy,
         workload=args.workload,
         arrival_rate=args.rate,
         num_requests=args.requests,
         batch_size=args.batch,
         seed=args.seed,
-        record_trace=True,
-        overload=overload,
-        observability=obs,
+        config=ServingConfig(
+            record_trace=True,
+            overload=overload_config_from_args(args),
+            observability=obs,
+        ),
     )
     print(result.summary())
     counts = obs.save_merged_trace(args.out, trace=result.trace)

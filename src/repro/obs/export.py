@@ -25,7 +25,7 @@ unit the Chrome trace format expects.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.obs.events import Event

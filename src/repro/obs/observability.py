@@ -22,7 +22,7 @@ observability does not move a single kernel.
 from __future__ import annotations
 
 import json
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from repro.errors import ConfigError
 from repro.obs.events import EventBus

@@ -130,12 +130,27 @@ class ParallelStrategy(abc.ABC):
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def bind(self, machine: Machine, host: Host) -> None:
-        """Attach to a machine/host pair; called once by the server."""
+    def bind(
+        self,
+        machine: Machine,
+        host: Host,
+        *,
+        track_memory: Optional[bool] = None,
+    ) -> None:
+        """Attach to a machine/host pair; called once by the server.
+
+        ``track_memory`` fixes the memory-tracking mode at bind time:
+        ``True``/``False`` override the constructor's setting, ``None``
+        keeps it.  Servers that account memory at sequence granularity
+        (lifecycle, generation) bind with ``track_memory=False`` instead
+        of mutating the strategy after construction.
+        """
         if self.machine is not None:
             raise ConfigError(f"strategy {self.name} is already bound")
         if machine.node is not self.node:
             raise ConfigError("strategy node and machine node differ")
+        if track_memory is not None:
+            self.track_memory = track_memory
         self.machine = machine
         self.host = host
         if self.track_memory:

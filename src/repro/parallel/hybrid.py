@@ -61,8 +61,8 @@ class HybridStrategy(ParallelStrategy):
         start = stage_index * self.tp
         return list(range(start, start + self.tp))
 
-    def bind(self, machine, host) -> None:
-        super().bind(machine, host)
+    def bind(self, machine, host, *, track_memory=None) -> None:
+        super().bind(machine, host, track_memory=track_memory)
         self._main: Dict[int, Stream] = {}
         self._pipe_in: Dict[int, Stream] = {}
         self._pipe_out: Dict[int, Stream] = {}

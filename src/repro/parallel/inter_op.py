@@ -39,8 +39,8 @@ class InterOpStrategy(ParallelStrategy):
         # per-device memory footprint is 1/num_stages of the shard.
         self.memory_share = 1.0 / len(self.stages)
 
-    def bind(self, machine, host) -> None:
-        super().bind(machine, host)
+    def bind(self, machine, host, *, track_memory=None) -> None:
+        super().bind(machine, host, track_memory=track_memory)
         # Compute stream plus dedicated ingress/egress transfer streams per
         # stage device: boundary transfers must not block the compute stream,
         # or the pipeline degrades to synchronous handoffs (a stage would be

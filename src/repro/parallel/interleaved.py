@@ -58,8 +58,8 @@ class InterleavedStrategy(ParallelStrategy):
         # Interleaved parallelism partitions exactly like intra-op (§3.1).
         return self.ops_for_batch(batch, tp=self.node.num_gpus)
 
-    def bind(self, machine, host) -> None:
-        super().bind(machine, host)
+    def bind(self, machine, host, *, track_memory=None) -> None:
+        super().bind(machine, host, track_memory=track_memory)
         if self.config.adaptive_anticipation:
             # Extension: no offline pass — learn factors while serving.
             anticipator = AdaptiveAnticipator()

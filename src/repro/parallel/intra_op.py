@@ -26,8 +26,8 @@ class IntraOpStrategy(ParallelStrategy):
 
     name = "intra"
 
-    def bind(self, machine, host) -> None:
-        super().bind(machine, host)
+    def bind(self, machine, host, *, track_memory=None) -> None:
+        super().bind(machine, host, track_memory=track_memory)
         # One in-order stream per device; TP executes lock-step across them.
         self._streams: Dict[int, Stream] = {
             g: machine.gpu(g).stream("main") for g in range(self.node.num_gpus)

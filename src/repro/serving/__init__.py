@@ -36,6 +36,12 @@ from repro.serving.overload import (
 )
 from repro.serving.request import Batch, Phase, Request, RequestState
 from repro.serving.server import Server, ServingResult
+from repro.serving.session import (
+    RunResult,
+    ServingConfig,
+    ServingSession,
+    SubmissionPipeline,
+)
 from repro.serving.workload import (
     general_trace,
     generative_trace,
@@ -66,6 +72,10 @@ __all__ = [
     "LatencyStats",
     "Server",
     "ServingResult",
+    "RunResult",
+    "ServingConfig",
+    "ServingSession",
+    "SubmissionPipeline",
     "GenRequest",
     "generation_workload",
     "StaticBatchingServer",

@@ -25,11 +25,12 @@ from repro.hw.devices import NodeSpec
 from repro.models.specs import ModelSpec
 from repro.parallel.base import ParallelStrategy
 from repro.parallel.hybrid import HybridStrategy
-from repro.parallel.intra_op import IntraOpStrategy
 from repro.parallel.inter_op import InterOpStrategy
 from repro.parallel.inter_theoretical import InterTheoreticalStrategy
+from repro.parallel.intra_op import IntraOpStrategy
 from repro.profiling.profiler import OpProfiler
 from repro.serving.server import Server, ServingResult
+from repro.serving.session import ServingConfig
 from repro.serving.workload import general_trace, generative_trace
 from repro.sim.interconnect import NcclConfig
 
@@ -87,6 +88,7 @@ def serve(
     seed: int = 0,
     record_trace: bool = False,
     check_memory: bool = True,
+    config: Optional[ServingConfig] = None,
     fault_plan=None,
     resilience=None,
     overload=None,
@@ -99,6 +101,12 @@ def serve(
     Parameters mirror the paper's experimental setup: ``workload="general"``
     gives the §4.2 random traces (seq 16–128), ``workload="generative"`` the
     §4.3 decode steps (context 16, batch 32 by default).
+
+    ``config`` (a :class:`~repro.serving.session.ServingConfig`) bundles the
+    cross-cutting subsystems in one object; it is mutually exclusive with
+    the individual ``fault_plan``/``resilience``/``overload``/
+    ``observability`` keywords below, and when given it also governs
+    ``record_trace``.
 
     ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) injects faults
     into the run and arms the recovery layer; ``resilience`` (a
@@ -122,6 +130,11 @@ def serve(
     if deadline_us is not None:
         from repro.serving.overload import OverloadConfig
 
+        if config is not None:
+            raise ConfigError(
+                "deadline_us cannot be combined with config=; set "
+                "default_deadline_us on the config's OverloadConfig instead"
+            )
         if overload is None:
             overload = OverloadConfig(default_deadline_us=deadline_us)
         elif overload.default_deadline_us is None:
@@ -147,6 +160,7 @@ def serve(
         model,
         node,
         strat,
+        config=config,
         record_trace=record_trace,
         check_memory=check_memory,
         fault_plan=fault_plan,

@@ -18,6 +18,13 @@ Both servers drive any :class:`~repro.parallel.base.ParallelStrategy`
 iteration, so interleaved parallelism composes with either discipline: with
 several iteration batches in flight Liger overlaps one iteration's
 all-reduces with another's GEMMs.
+
+Both ride the :class:`~repro.serving.session.ServingSession` chassis, so
+the cross-cutting subsystems compose here exactly as on the other servers:
+pass a :class:`~repro.serving.session.ServingConfig` (or the individual
+``fault_plan``/``resilience``/``overload``/``observability`` kwargs) and a
+generation run gains fault injection with retry/degradation, bounded
+admission with deadlines, and the event bus/metrics/span exports.
 """
 
 from __future__ import annotations
@@ -28,16 +35,15 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.models.partition import check_placement
+from repro.obs.events import RequestsAdmitted, RequestsShed, RequestsTimedOut
+from repro.obs.observability import Observability
 from repro.serving.arrival import ArrivalProcess, ConstantRate
-from repro.serving.metrics import ServingMetrics
-from repro.serving.request import Batch, Phase, Request
+from repro.serving.overload import AdmissionPolicy, OverloadConfig, OverloadReport
+from repro.serving.request import Batch, Phase, Request, RequestState
 from repro.serving.server import ServingResult
-from repro.sim.contention import ContentionModel, default_contention_for
-from repro.sim.engine import Engine
-from repro.sim.gpu import Machine
-from repro.sim.host import Host
-from repro.sim.tracing import Trace
+from repro.serving.session import ServingConfig, ServingSession
+from repro.sim.contention import ContentionModel
+from repro.sim.memory import NodeMemoryModel, activation_bytes
 
 __all__ = [
     "GenRequest",
@@ -57,10 +63,15 @@ class GenRequest:
     gen_tokens: int
     tokens_done: int = 0
     completion: Optional[float] = None
+    #: Absolute deadline (µs); ``None`` means no SLO attached.
+    deadline: Optional[float] = None
+    state: RequestState = RequestState.PENDING
 
     def __post_init__(self) -> None:
         if self.gen_tokens < 1 or self.context_len < 1:
             raise ConfigError(f"request {self.rid}: invalid generation job")
+        if self.deadline is not None and self.deadline < self.arrival:
+            raise ConfigError(f"request {self.rid}: deadline precedes arrival")
 
     @property
     def finished(self) -> bool:
@@ -71,6 +82,10 @@ class GenRequest:
         """KV length at the next iteration."""
         return self.context_len + self.tokens_done
 
+    def deadline_passed(self, now: float) -> bool:
+        """Whether the deadline (if any) has expired at simulated ``now``."""
+        return self.deadline is not None and now > self.deadline
+
     def as_request(self) -> Request:
         """The single-iteration view used to build a decode Batch."""
         return Request(
@@ -79,6 +94,7 @@ class GenRequest:
             seq_len=1,
             phase=Phase.DECODE,
             context_len=self.current_context,
+            deadline=self.deadline,
         )
 
 
@@ -90,13 +106,20 @@ def generation_workload(
     gen_tokens: tuple = (4, 16),
     seed: int = 0,
     arrival: Optional[ArrivalProcess] = None,
+    deadline_us: Optional[float] = None,
 ) -> List[GenRequest]:
-    """Random generation jobs: uniform output lengths at a constant rate."""
+    """Random generation jobs: uniform output lengths at a constant rate.
+
+    ``deadline_us`` attaches a full-latency SLO to every job, relative to
+    its own arrival.
+    """
     if num_requests < 1:
         raise ConfigError("num_requests must be >= 1")
     lo, hi = gen_tokens
     if not 1 <= lo <= hi:
         raise ConfigError(f"invalid gen_tokens range {gen_tokens}")
+    if deadline_us is not None and deadline_us <= 0:
+        raise ConfigError("deadline_us must be positive")
     proc = arrival or ConstantRate(rate)
     times = proc.arrivals(num_requests)
     rng = np.random.default_rng(seed)
@@ -105,13 +128,14 @@ def generation_workload(
         GenRequest(
             rid=i, arrival=times[i], context_len=context_len,
             gen_tokens=int(lengths[i]),
+            deadline=(times[i] + deadline_us) if deadline_us is not None else None,
         )
         for i in range(num_requests)
     ]
 
 
 class _GenerationServerBase:
-    """Shared plumbing: machine/host construction and result assembly."""
+    """Shared plumbing: the serving session and terminal bookkeeping."""
 
     def __init__(
         self,
@@ -119,55 +143,135 @@ class _GenerationServerBase:
         node,
         strategy,
         *,
+        config: Optional[ServingConfig] = None,
         contention: Optional[ContentionModel] = None,
         record_trace: bool = False,
         check_memory: bool = True,
+        fault_plan=None,
+        resilience=None,
+        overload: Optional[OverloadConfig] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
-        if strategy.model is not model or strategy.node is not node:
-            raise ConfigError("strategy was built for a different model/node")
-        if check_memory:
-            check_placement(model, node)
+        config = ServingConfig.resolve(
+            config,
+            contention=contention,
+            record_trace=record_trace,
+            fault_plan=fault_plan,
+            resilience=resilience,
+            overload=overload,
+            observability=observability,
+        )
+        # The strategy's per-batch accounting would re-reserve the KV cache
+        # for every iteration; generation memory lives at sequence/group
+        # granularity, so this server owns the memory model instead
+        # (track_memory=False at bind time).
+        self.session = ServingSession(
+            model,
+            node,
+            strategy,
+            config=config,
+            check_memory=check_memory,
+            track_memory=False,
+            complete_callback=self._on_batch_complete,
+            shed_callback=self._on_shed,
+            track_first_dispatch=True,
+        )
+        s = self.session
         self.model = model
         self.node = node
         self.strategy = strategy
-        self.engine = Engine()
-        self.trace = Trace() if record_trace else None
-        self.machine = Machine(
-            node, self.engine,
-            contention=contention or default_contention_for(node.name),
-            trace=self.trace,
-        )
-        self.host = Host(self.machine)
-        self.metrics = ServingMetrics()
-        self.total_tokens = 0
-        # The strategy's per-batch accounting would re-reserve the KV cache
-        # for every iteration; generation memory lives at sequence/group
-        # granularity, so this server owns the memory model instead.
-        strategy.track_memory = False
-        from repro.sim.memory import NodeMemoryModel
-
+        self.engine = s.engine
+        self.trace = s.trace
+        self.machine = s.machine
+        self.host = s.host
+        self.metrics = s.metrics
+        self.obs = s.obs
+        self.bus = s.bus
+        self.recovery = s.recovery
         self.memory = NodeMemoryModel(model, node)
-        strategy.bind(self.machine, self.host)
-        strategy.on_batch_complete(self._on_batch_complete)
+        self.total_tokens = 0
+        self.overload = config.overload
+        self._admitted = 0
+        self._peak_pending = 0
 
     # Subclasses map batch completions back to generation progress.
     def _on_batch_complete(self, batch: Batch, time: float) -> None:
         raise NotImplementedError
 
+    # Subclasses restore their scheduling state when the recovery layer
+    # drops a batch (only reachable when faults/resilience are armed).
+    def _on_shed(self, batch: Batch) -> None:
+        raise NotImplementedError
+
+    def _submit(self, batch: Batch) -> None:
+        """Feed one iteration batch into the session's submission pipeline."""
+        self.session.submit(batch)
+
+    # ------------------------------------------------------------------
+    # Terminal bookkeeping (every job ends in exactly one terminal state)
+    # ------------------------------------------------------------------
     def _finish_request(self, gen: GenRequest, time: float) -> None:
         gen.completion = time
+        gen.state = RequestState.COMPLETED
         proxy = Request(
             rid=gen.rid, arrival=gen.arrival, seq_len=gen.gen_tokens,
             phase=Phase.DECODE, context_len=gen.context_len,
+            deadline=gen.deadline,
         )
         proxy.mark_completed(time)
         self.metrics.record([proxy])
 
-    def _result(self, expected: int) -> ServingResult:
-        if self.metrics.num_completed != expected:
-            raise ConfigError(
-                f"served {self.metrics.num_completed} of {expected} requests"
+    def _shed_gen(self, gen: GenRequest, *, where: str = "admission") -> None:
+        gen.state = RequestState.SHED
+        self.metrics.note_shed([gen])
+        if self.bus is not None:
+            self.bus.publish(
+                RequestsShed.from_requests(
+                    [gen], self.engine.now, batch_id=-1, where=where
+                )
             )
+
+    def _time_out_gen(self, gen: GenRequest, *, where: str = "pending") -> None:
+        gen.state = RequestState.TIMED_OUT
+        self.metrics.note_timed_out([gen])
+        if self.bus is not None:
+            self.bus.publish(
+                RequestsTimedOut.from_requests(
+                    [gen], self.engine.now, batch_id=-1, where=where
+                )
+            )
+
+    def _note_admitted(self, gen: GenRequest) -> None:
+        self._admitted += 1
+        if self.bus is not None:
+            self.bus.publish(
+                RequestsAdmitted(
+                    time_us=self.engine.now,
+                    batch_id=-1,
+                    rids=(gen.rid,),
+                    arrivals_us=(gen.arrival,),
+                )
+            )
+
+    def _overload_report(self) -> Optional[OverloadReport]:
+        """Summarise this server's job-granularity admission layer."""
+        if self.overload is None:
+            return None
+        return OverloadReport(
+            policy=self.overload.policy.value,
+            admitted_requests=self._admitted,
+            shed_requests=self.metrics.shed_requests,
+            timed_out_requests=self.metrics.timed_out_requests,
+            peak_pending_requests=self._peak_pending,
+        )
+
+    def _result(self, expected: int) -> ServingResult:
+        self.session.check_drained(
+            expected=expected,
+            completed=self.metrics.num_completed,
+            shed=self.metrics.shed_requests,
+            timed_out=self.metrics.timed_out_requests,
+        )
         return ServingResult(
             strategy=f"{self.strategy.name}+{self.discipline}",
             model=self.model.name,
@@ -176,6 +280,9 @@ class _GenerationServerBase:
             metrics=self.metrics,
             trace=self.trace,
             wall_events=self.engine.events_processed,
+            resilience=self.session.finalize_resilience(),
+            overload=self._overload_report(),
+            observability=self.obs,
         )
 
     discipline = "generation"
@@ -190,6 +297,10 @@ class StaticBatchingServer(_GenerationServerBase):
     Iterations of one batch are submitted back-to-back; batches of the queue
     are submitted as they form, so the underlying strategy may still overlap
     *across* batches (Liger benefits; intra-op simply queues).
+
+    Overload semantics are group-granular — a static group is atomic, so
+    admission sheds whole groups and a retry-exhausted iteration sheds its
+    entire group (the remaining members cannot finish without it).
     """
 
     discipline = "static"
@@ -201,6 +312,20 @@ class StaticBatchingServer(_GenerationServerBase):
         self.batch_size = batch_size
         self._groups: Dict[int, dict] = {}
         self._pending_groups: List[List[GenRequest]] = []
+        #: Every iteration batch id → the group key (its last batch id is
+        #: assigned at submit; until then iterations map to the group's gid).
+        self._batch_group: Dict[int, int] = {}
+        self._group_by_gid: Dict[int, dict] = {}
+        self.session.add_gauge(
+            "repro_pending_queue_requests",
+            "Generation jobs waiting in queued static groups.",
+            lambda: float(sum(len(g) for g in self._pending_groups)),
+        )
+        self.session.add_gauge(
+            "repro_inflight_batches",
+            "Static groups currently executing.",
+            lambda: float(len(self._groups)),
+        )
 
     def run(self, requests: Sequence[GenRequest]) -> ServingResult:
         """Serve the generation jobs to completion; returns metrics."""
@@ -211,11 +336,80 @@ class StaticBatchingServer(_GenerationServerBase):
             self.engine.schedule_at(
                 arrival, lambda g=group: self._enqueue_group(g), priority=10
             )
-        self.machine.run()
+        self.session.run_machine()
         return self._result(len(ordered))
 
+    # ------------------------------------------------------------------
+    # Admission (group-granular)
+    # ------------------------------------------------------------------
+    def _pending_jobs(self) -> int:
+        return sum(len(g) for g in self._pending_groups)
+
+    def _admit_group(self, group: List[GenRequest]) -> bool:
+        """Enforce the bounded admission queue; False = group was shed."""
+        cfg = self.overload
+        assert cfg is not None
+        while self._pending_jobs() + len(group) > cfg.max_pending_requests:
+            if cfg.policy is AdmissionPolicy.SHED_OLDEST and self._pending_groups:
+                for gen in self._pending_groups.pop(0):
+                    self._shed_gen(gen)
+                continue
+            if (
+                cfg.policy is AdmissionPolicy.SHED_BY_DEADLINE
+                and self._pending_groups
+            ):
+                deadlines = [
+                    min(
+                        (g.deadline for g in grp if g.deadline is not None),
+                        default=None,
+                    )
+                    for grp in self._pending_groups
+                ]
+                if any(d is not None for d in deadlines):
+                    idx = min(
+                        (i for i, d in enumerate(deadlines) if d is not None),
+                        key=lambda i: deadlines[i],
+                    )
+                    for gen in self._pending_groups.pop(idx):
+                        self._shed_gen(gen)
+                    continue
+            for gen in group:
+                self._shed_gen(gen)
+            return False
+        return True
+
+    def _expire_pending(self) -> None:
+        """Time out queued jobs whose deadline passed — cheaply, pre-launch.
+
+        Expired members leave their group (the launch batch simply shrinks);
+        a fully-expired group is dropped.
+        """
+        now = self.engine.now
+        kept: List[List[GenRequest]] = []
+        for group in self._pending_groups:
+            alive = []
+            for gen in group:
+                if gen.deadline_passed(now):
+                    self._time_out_gen(gen)
+                else:
+                    alive.append(gen)
+            if alive:
+                kept.append(alive)
+        self._pending_groups = kept
+
     def _enqueue_group(self, group: List[GenRequest]) -> None:
+        if self.overload is not None:
+            cfg = self.overload
+            if cfg.default_deadline_us is not None:
+                for gen in group:
+                    if gen.deadline is None:
+                        gen.deadline = gen.arrival + cfg.default_deadline_us
+            if not self._admit_group(group):
+                return
+        for gen in group:
+            self._note_admitted(gen)
         self._pending_groups.append(group)
+        self._peak_pending = max(self._peak_pending, self._pending_jobs())
         self._drain_pending_groups()
 
     def _drain_pending_groups(self) -> None:
@@ -227,6 +421,8 @@ class StaticBatchingServer(_GenerationServerBase):
         """
         from repro.errors import OutOfMemoryError
 
+        if self.overload is not None:
+            self._expire_pending()
         while self._pending_groups:
             group = self._pending_groups[0]
             try:
@@ -239,8 +435,6 @@ class StaticBatchingServer(_GenerationServerBase):
             self._submit_group(group)
 
     def _reserve_group(self, group: List[GenRequest]) -> None:
-        from repro.sim.memory import activation_bytes
-
         tp = self.node.num_gpus
         iterations = max(r.gen_tokens for r in group)
         ctx_final = max(r.context_len for r in group) + iterations
@@ -253,6 +447,8 @@ class StaticBatchingServer(_GenerationServerBase):
     def _submit_group(self, group: List[GenRequest]) -> None:
         iterations = max(r.gen_tokens for r in group)
         gid = group[0].rid
+        info = {"members": group, "gid": gid, "last_bid": None}
+        self._group_by_gid[gid] = info
         last_bid = None
         for it in range(iterations):
             batch = Batch(
@@ -260,19 +456,38 @@ class StaticBatchingServer(_GenerationServerBase):
                     Request(
                         rid=r.rid, arrival=r.arrival, seq_len=1,
                         phase=Phase.DECODE, context_len=r.context_len + it,
+                        deadline=r.deadline,
                     )
                     for r in group
                 ]
             )
             last_bid = batch.batch_id
-            self.strategy.submit_batch(batch)
+            self._batch_group[batch.batch_id] = gid
+            self._submit(batch)
             self.total_tokens += len(group)
-        self._groups[last_bid] = {"members": group, "gid": gid}
+        info["last_bid"] = last_bid
+        self._groups[last_bid] = info
+
+    # ------------------------------------------------------------------
+    def _on_shed(self, batch: Batch) -> None:
+        """A retry-exhausted iteration sheds its whole group (atomic)."""
+        gid = self._batch_group.get(batch.batch_id)
+        if gid is None:
+            return
+        info = self._group_by_gid.pop(gid, None)
+        if info is None:
+            return  # group already resolved by an earlier shed
+        self._groups.pop(info["last_bid"], None)
+        self.memory.release(f"group{gid}")
+        for gen in info["members"]:
+            self._shed_gen(gen, where="retry-exhausted")
+        self._drain_pending_groups()
 
     def _on_batch_complete(self, batch: Batch, time: float) -> None:
         info = self._groups.pop(batch.batch_id, None)
         if info is None:
-            return  # an intermediate iteration
+            return  # an intermediate iteration, or a shed group's straggler
+        self._group_by_gid.pop(info["gid"], None)
         self.memory.release(f"group{info['gid']}")
         for gen in info["members"]:
             gen.tokens_done = gen.gen_tokens
@@ -291,6 +506,12 @@ class ContinuousBatchingServer(_GenerationServerBase):
     state advances only on completion, keeping iterations of one sequence
     strictly ordered by construction (an in-flight sequence is not
     re-batched until its current iteration retires).
+
+    Overload semantics are job-granular, like the lifecycle server's:
+    admission bounds the *waiting* jobs (queued, not yet holding KV),
+    deadlines expire idle jobs cheaply between iterations, and a
+    retry-exhausted iteration returns its members to the queue after the
+    recovery backoff instead of abandoning them.
     """
 
     discipline = "continuous"
@@ -312,6 +533,16 @@ class ContinuousBatchingServer(_GenerationServerBase):
         self._busy: set = set()  # rids currently in an in-flight iteration
         self._expected = 0
         self.iterations_run = 0
+        self.session.add_gauge(
+            "repro_pending_queue_requests",
+            "Generation jobs waiting for their first KV reservation.",
+            lambda: float(self._waiting_jobs()),
+        )
+        self.session.add_gauge(
+            "repro_inflight_batches",
+            "Iteration batches currently at the strategy.",
+            lambda: float(len(self._inflight)),
+        )
 
     def run(self, requests: Sequence[GenRequest]) -> ServingResult:
         """Serve the generation jobs to completion; returns metrics."""
@@ -321,12 +552,73 @@ class ContinuousBatchingServer(_GenerationServerBase):
             self.engine.schedule_at(
                 r.arrival, lambda req=r: self._on_arrival(req), priority=10
             )
-        self.machine.run()
+        self.session.run_machine()
         return self._result(self._expected)
 
     # ------------------------------------------------------------------
+    # Admission (job-granular)
+    # ------------------------------------------------------------------
+    def _waiting_jobs(self) -> int:
+        """Queued jobs not yet holding a KV reservation."""
+        return sum(1 for r in self._queue if r.rid not in self._reserved)
+
+    def _admit(self, req: GenRequest) -> bool:
+        """Enforce the bounded admission queue; False = arrival was shed."""
+        cfg = self.overload
+        assert cfg is not None
+        while self._waiting_jobs() >= cfg.max_pending_requests:
+            waiting = [r for r in self._queue if r.rid not in self._reserved]
+            if cfg.policy is AdmissionPolicy.SHED_OLDEST and waiting:
+                victim = waiting[0]
+                self._queue.remove(victim)
+                self._shed_gen(victim)
+                continue
+            if cfg.policy is AdmissionPolicy.SHED_BY_DEADLINE:
+                with_deadline = [r for r in waiting if r.deadline is not None]
+                if with_deadline:
+                    victim = min(with_deadline, key=lambda r: r.deadline)
+                    self._queue.remove(victim)
+                    self._shed_gen(victim)
+                    continue
+            self._shed_gen(req)
+            return False
+        return True
+
+    def _expire_idle(self) -> None:
+        """Time out idle jobs whose deadline passed (KV released if held)."""
+        now = self.engine.now
+        expired = [
+            r
+            for r in self._queue
+            if r.rid not in self._busy and r.deadline_passed(now)
+        ]
+        for req in expired:
+            self._queue.remove(req)
+            if req.rid in self._reserved:
+                self.memory.release(f"seq{req.rid}")
+                self._reserved.discard(req.rid)
+            self._time_out_gen(req, where="queue")
+
     def _on_arrival(self, req: GenRequest) -> None:
+        cfg = self.overload
+        if cfg is not None:
+            if req.deadline is None and cfg.default_deadline_us is not None:
+                req.deadline = req.arrival + cfg.default_deadline_us
+            if not self._admit(req):
+                return
+            self._note_admitted(req)
+        elif self.bus is not None:
+            self._admitted += 1
+            self.bus.publish(
+                RequestsAdmitted(
+                    time_us=self.engine.now,
+                    batch_id=-1,
+                    rids=(req.rid,),
+                    arrivals_us=(req.arrival,),
+                )
+            )
         self._queue.append(req)
+        self._peak_pending = max(self._peak_pending, self._waiting_jobs())
         self._maybe_launch_iteration()
 
     def _try_reserve_seq(self, req: GenRequest) -> bool:
@@ -336,7 +628,6 @@ class ContinuousBatchingServer(_GenerationServerBase):
         the sequence first joins an iteration and lives until its last token.
         """
         from repro.errors import OutOfMemoryError
-        from repro.sim.memory import activation_bytes
 
         if req.rid in self._reserved:
             return True
@@ -355,6 +646,8 @@ class ContinuousBatchingServer(_GenerationServerBase):
         return True
 
     def _maybe_launch_iteration(self) -> None:
+        if self.overload is not None:
+            self._expire_idle()
         while len(self._inflight) < self.pipeline_depth:
             members: List[GenRequest] = []
             for r in self._queue:
@@ -369,7 +662,29 @@ class ContinuousBatchingServer(_GenerationServerBase):
             self._busy.update(r.rid for r in members)
             self.iterations_run += 1
             self.total_tokens += len(members)
-            self.strategy.submit_batch(batch)
+            self._submit(batch)
+
+    # ------------------------------------------------------------------
+    def _on_shed(self, batch: Batch) -> None:
+        """Return a retry-exhausted iteration's members to the queue.
+
+        The members keep their KV reservations (the retry re-decodes the
+        same context) but stay marked busy for one recovery backoff, so the
+        launch loop cannot instantly rebuild and re-shed the same batch
+        without simulated time advancing.
+        """
+        members = self._inflight.pop(batch.batch_id, [])
+        self.total_tokens -= len(members)
+        assert self.recovery is not None
+
+        def _requeue() -> None:
+            for req in members:
+                self._busy.discard(req.rid)
+            self._maybe_launch_iteration()
+
+        self.engine.schedule(
+            self.recovery.config.retry_backoff_us, _requeue, priority=10
+        )
 
     def _on_batch_complete(self, batch: Batch, time: float) -> None:
         members = self._inflight.pop(batch.batch_id)

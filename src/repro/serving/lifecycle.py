@@ -23,29 +23,14 @@ first-token latency) and full completion latency; both are returned in the
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import (
-    ConfigError,
-    DeadlockError,
-    IncompleteRequestError,
-    SimulationError,
-)
-
-if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
-    from repro.faults.plan import FaultPlan
-    from repro.faults.resilience import (
-        RecoveryManager,
-        ResilienceConfig,
-        ResilienceReport,
-    )
-from repro.models.partition import check_placement
+from repro.errors import ConfigError, IncompleteRequestError
 from repro.obs.events import (
     BatchCompleted,
-    BatchDispatched,
     BatchPreempted,
     RequestsAdmitted,
     RequestsShed,
@@ -54,15 +39,16 @@ from repro.obs.events import (
 from repro.obs.observability import Observability
 from repro.serving.arrival import ArrivalProcess, ConstantRate
 from repro.serving.metrics import LatencyStats
-from repro.serving.overload import AdmissionPolicy, OverloadConfig
+from repro.serving.overload import AdmissionPolicy, OverloadConfig, OverloadReport
 from repro.serving.request import Batch, Phase, Request, RequestState
-from repro.sim.contention import ContentionModel, default_contention_for
-from repro.sim.engine import Engine
-from repro.sim.gpu import Machine
-from repro.sim.host import Host
+from repro.serving.session import RunResult, ServingConfig, ServingSession
+from repro.sim.contention import ContentionModel
 from repro.sim.memory import NodeMemoryModel, activation_bytes
-from repro.sim.tracing import Trace
 from repro.units import us_to_s
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.faults.plan import FaultPlan
+    from repro.faults.resilience import ResilienceConfig
 
 __all__ = ["ChatRequest", "chat_workload", "LifecycleResult", "LifecycleServer"]
 
@@ -156,18 +142,17 @@ def chat_workload(
 
 
 @dataclass
-class LifecycleResult:
-    """Metrics of one lifecycle serving run."""
+class LifecycleResult(RunResult):
+    """Metrics of one lifecycle serving run.
 
-    strategy: str
-    model: str
-    node: str
-    num_requests: int
-    ttft: LatencyStats
-    latency: LatencyStats
-    tokens_generated: int
-    tokens_per_second: float
-    wall_events: int
+    ``num_requests`` counts *completed* chats; shed and timed-out chats are
+    reported separately (every chat ends in exactly one of the three).
+    """
+
+    ttft: LatencyStats = field(default=None)  # type: ignore[assignment]
+    latency: LatencyStats = field(default=None)  # type: ignore[assignment]
+    tokens_generated: int = 0
+    tokens_per_second: float = 0.0
     #: Chats dropped by admission control or the recovery layer.
     shed_requests: int = 0
     #: Chats whose deadline expired before completion.
@@ -179,10 +164,6 @@ class LifecycleResult:
     #: Fraction of deadline-carrying chats that completed on time;
     #: ``None`` when no chat carried a deadline.
     slo_attainment: Optional[float] = None
-    #: Recovery-layer summary; ``None`` unless faults/resilience were enabled.
-    resilience: Optional["ResilienceReport"] = None
-    #: The observability object the run was served with, if any.
-    observability: Optional[Observability] = None
 
     def summary(self) -> str:
         """One-line human summary."""
@@ -209,6 +190,7 @@ class LifecycleServer:
         prefill_batch: int = 4,
         max_decode_batch: int = 32,
         decode_pipeline_depth: int = 2,
+        config: Optional[ServingConfig] = None,
         contention: Optional[ContentionModel] = None,
         record_trace: bool = False,
         check_memory: bool = True,
@@ -217,31 +199,47 @@ class LifecycleServer:
         overload: Optional[OverloadConfig] = None,
         observability: Optional[Observability] = None,
     ) -> None:
-        if strategy.model is not model or strategy.node is not node:
-            raise ConfigError("strategy was built for a different model/node")
         if prefill_batch < 1 or max_decode_batch < 1 or decode_pipeline_depth < 1:
             raise ConfigError("batching parameters must be >= 1")
-        if check_memory:
-            check_placement(model, node)
-        self.model = model
-        self.node = node
-        self.strategy = strategy
+        config = ServingConfig.resolve(
+            config,
+            contention=contention,
+            record_trace=record_trace,
+            fault_plan=fault_plan,
+            resilience=resilience,
+            overload=overload,
+            observability=observability,
+        )
         self.prefill_batch = prefill_batch
         self.max_decode_batch = max_decode_batch
         self.decode_pipeline_depth = decode_pipeline_depth
-        self.engine = Engine()
-        self.trace = Trace() if record_trace else None
-        self.machine = Machine(
-            node, self.engine,
-            contention=contention or default_contention_for(node.name),
-            trace=self.trace,
+        # Chat-granularity admission and KV accounting live in this server,
+        # not the chassis' OverloadController (which works on pre-packed
+        # batches); the chassis still owns everything else.
+        self.session = ServingSession(
+            model,
+            node,
+            strategy,
+            config=config,
+            check_memory=check_memory,
+            # Sequence-granularity memory (KV lives from prefill → last token).
+            track_memory=False,
+            complete_callback=self._on_batch_complete,
+            shed_callback=self._on_shed,
+            track_first_dispatch=True,
         )
-        self.host = Host(self.machine)
-        # Sequence-granularity memory (KV lives from prefill to last token).
-        strategy.track_memory = False
+        s = self.session
+        self.model = model
+        self.node = node
+        self.strategy = strategy
+        self.engine = s.engine
+        self.trace = s.trace
+        self.machine = s.machine
+        self.host = s.host
+        self.obs = s.obs
+        self.bus = s.bus
+        self.recovery = s.recovery
         self.memory = NodeMemoryModel(model, node)
-        strategy.bind(self.machine, self.host)
-        strategy.on_batch_complete(self._on_batch_complete)
 
         self._prefill_queue: List[ChatRequest] = []
         self._prefill_inflight: Dict[int, List[ChatRequest]] = {}
@@ -253,69 +251,36 @@ class LifecycleServer:
         self._timed_out: List[ChatRequest] = []
         self.tokens_generated = 0
 
-        self.overload = overload
+        self.overload = config.overload
         self.preemptions = 0
+        self._admitted = 0
+        self._peak_pending = 0
         self._deadline_misses = 0
         self._slo_tracked = 0
         self._slo_met = 0
 
-        self.obs = observability
-        self.bus = observability.bus if observability is not None else None
-        #: Chats whose first batch has already been dispatched — queue-wait
-        #: derivations only count a chat's first hand-off.
-        self._dispatched_rids: set = set()
-
-        self.recovery: Optional["RecoveryManager"] = None
-        if fault_plan is not None or resilience is not None:
-            from repro.faults.resilience import attach_recovery
-
-            self.recovery = attach_recovery(
-                model,
-                node,
-                strategy,
-                self.machine,
-                self.host,
-                fault_plan=fault_plan,
-                config=resilience,
-                complete_callback=self._on_batch_complete,
-                bus=self.bus,
-            )
-            self.recovery.on_shed = self._on_shed
-        if observability is not None:
-            if fault_plan is not None:
-                observability.note_fault_plan(fault_plan)
-            observability.register_gauge(
-                "repro_pending_queue_requests",
-                "Chats waiting in the prefill admission queue.",
-                lambda: float(len(self._prefill_queue)),
-            )
-            observability.register_gauge(
-                "repro_decode_pool_chats",
-                "Chats resident in the continuous-batching decode pool.",
-                lambda: float(len(self._decode_pool)),
-            )
-            observability.register_gauge(
-                "repro_inflight_batches",
-                "Prefill and decode batches currently at the strategy.",
-                lambda: float(
-                    len(self._prefill_inflight) + len(self._decode_inflight)
-                ),
-            )
+        s.add_gauge(
+            "repro_pending_queue_requests",
+            "Chats waiting in the prefill admission queue.",
+            lambda: float(len(self._prefill_queue)),
+        )
+        s.add_gauge(
+            "repro_decode_pool_chats",
+            "Chats resident in the continuous-batching decode pool.",
+            lambda: float(len(self._decode_pool)),
+        )
+        s.add_gauge(
+            "repro_inflight_batches",
+            "Prefill and decode batches currently at the strategy.",
+            lambda: float(
+                len(self._prefill_inflight) + len(self._decode_inflight)
+            ),
+        )
 
     # ------------------------------------------------------------------
     def _submit(self, batch: Batch) -> None:
-        """Hand one batch to the strategy (via recovery if armed)."""
-        now = self.engine.now
-        batch.mark_dispatched(now)
-        if self.bus is not None:
-            rids = set(r.rid for r in batch.requests)
-            first = not (rids & self._dispatched_rids)
-            self._dispatched_rids.update(rids)
-            self.bus.publish(BatchDispatched.from_batch(batch, now, first=first))
-        if self.recovery is not None:
-            self.recovery.submit(batch)
-        else:
-            self.strategy.submit_batch(batch)
+        """Feed one batch into the session's submission pipeline."""
+        self.session.submit(batch)
 
     def _on_shed(self, batch: Batch) -> None:
         """Clean up lifecycle state for a batch the recovery layer dropped.
@@ -357,32 +322,27 @@ class LifecycleServer:
             self.engine.schedule_at(
                 r.arrival, lambda req=r: self._on_arrival(req), priority=10
             )
-        if self.recovery is not None:
-            self.recovery.arm()
-        if self.obs is not None:
-            self.obs.arm(self.engine)
-        self.machine.run()
-        resolved = len(self._finished) + len(self._shed) + len(self._timed_out)
-        if resolved != len(ordered):
-            # A run that returned without serving everything is a wedge, not
-            # a configuration mistake: name the batches that never drained.
-            open_ids = sorted(
+        self.session.run_machine()
+        self.session.check_drained(
+            expected=len(ordered),
+            completed=len(self._finished),
+            shed=len(self._shed),
+            timed_out=len(self._timed_out),
+            open_ids=sorted(
                 set(self._prefill_inflight) | set(self._decode_inflight)
-            )
-            raise DeadlockError(
-                f"served {len(self._finished)} of {len(ordered)} requests"
-                f"{f' ({len(self._shed)} shed)' if self._shed else ''}"
-                f"{f' ({len(self._timed_out)} timed out)' if self._timed_out else ''}"
-                f" — batches never completed: "
-                f"{open_ids if open_ids else 'none open (lost)'}"
-            )
-        if not self._finished:
-            raise SimulationError(
-                f"all {len(ordered)} request(s) were shed or timed out; "
-                "nothing completed"
-            )
-        first = min(r.arrival for r in self._finished)
-        last = max(r.completion for r in self._finished)  # type: ignore[type-var]
+            ),
+        )
+        if self._finished:
+            first = min(r.arrival for r in self._finished)
+            last = max(r.completion for r in self._finished)  # type: ignore[type-var]
+            span_s = us_to_s(last - first)
+            tok_per_s = self.tokens_generated / span_s if span_s > 0 else 0.0
+        else:
+            # Every chat was shed or timed out.  That is a legitimate outcome
+            # under admission control (e.g. an impossible deadline), not a
+            # simulation failure: return a zero-completion result with the
+            # terminals counted and empty-safe latency stats.
+            tok_per_s = 0.0
         return LifecycleResult(
             strategy=f"{self.strategy.name}+lifecycle",
             model=self.model.name,
@@ -393,7 +353,7 @@ class LifecycleServer:
                 [r.latency for r in self._finished]
             ),
             tokens_generated=self.tokens_generated,
-            tokens_per_second=self.tokens_generated / us_to_s(last - first),
+            tokens_per_second=tok_per_s,
             wall_events=self.engine.events_processed,
             shed_requests=len(self._shed),
             timed_out_requests=len(self._timed_out),
@@ -402,10 +362,27 @@ class LifecycleServer:
             slo_attainment=(
                 self._slo_met / self._slo_tracked if self._slo_tracked else None
             ),
-            resilience=(
-                self.recovery.finalize() if self.recovery is not None else None
-            ),
+            resilience=self.session.finalize_resilience(),
+            overload=self._overload_report(),
             observability=self.obs,
+        )
+
+    def _overload_report(self) -> Optional[OverloadReport]:
+        """Summarise this server's chat-granularity admission layer.
+
+        The lifecycle server admits at request (not batch) granularity, so
+        it fills the shared :class:`~repro.serving.overload.OverloadReport`
+        from its own counters instead of an ``OverloadController``.
+        """
+        if self.overload is None:
+            return None
+        return OverloadReport(
+            policy=self.overload.policy.value,
+            admitted_requests=self._admitted,
+            shed_requests=len(self._shed),
+            timed_out_requests=len(self._timed_out),
+            preempted_batches=self.preemptions,
+            peak_pending_requests=self._peak_pending,
         )
 
     # ------------------------------------------------------------------
@@ -447,6 +424,7 @@ class LifecycleServer:
                 req.deadline = req.arrival + cfg.default_deadline_us
             if not self._admit(req):
                 return
+            self._admitted += 1
         if self.bus is not None:
             self.bus.publish(
                 RequestsAdmitted(
@@ -457,6 +435,7 @@ class LifecycleServer:
                 )
             )
         self._prefill_queue.append(req)
+        self._peak_pending = max(self._peak_pending, len(self._prefill_queue))
         self._maybe_submit_prefill()
 
     def _admit(self, req: ChatRequest) -> bool:

@@ -6,58 +6,44 @@ front-end hands the packed batch to the runtime, Fig. 5), lets the bound
 strategy turn it into kernels, and records request completions as batches
 drain.  The result bundles the paper's two metrics plus the execution trace
 for overlap analysis.
+
+Construction, subsystem wiring, and the submit path live in the
+:class:`~repro.serving.session.ServingSession` chassis; this module is the
+batch-granularity policy on top: one arrival per pre-packed batch, metrics
+recorded as batches retire.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from repro.errors import ConfigError, DeadlockError
+from repro.errors import ConfigError
 from repro.hw.devices import NodeSpec
-from repro.models.partition import check_placement
 from repro.models.specs import ModelSpec
+from repro.obs.events import BatchCompleted
+from repro.obs.observability import Observability
 from repro.serving.metrics import LatencyStats, ServingMetrics
+from repro.serving.overload import OverloadConfig
+from repro.serving.request import Batch
+from repro.serving.session import RunResult, ServingConfig, ServingSession
+from repro.sim.contention import ContentionModel
+from repro.sim.tracing import Trace
 
 if TYPE_CHECKING:  # avoid a circular import; the server only type-hints it
     from repro.faults.plan import FaultPlan
-    from repro.faults.resilience import (
-        RecoveryManager,
-        ResilienceConfig,
-        ResilienceReport,
-    )
+    from repro.faults.resilience import ResilienceConfig
     from repro.parallel.base import ParallelStrategy
-from repro.obs.events import BatchCompleted, BatchDispatched, RequestsAdmitted
-from repro.obs.observability import Observability
-from repro.serving.overload import OverloadConfig, OverloadController, OverloadReport
-from repro.serving.request import Batch
-from repro.sim.contention import ContentionModel, default_contention_for
-from repro.sim.engine import Engine
-from repro.sim.gpu import Machine
-from repro.sim.host import Host
-from repro.sim.tracing import Trace
 
 __all__ = ["Server", "ServingResult"]
 
 
 @dataclass
-class ServingResult:
+class ServingResult(RunResult):
     """Outcome of one serving run."""
 
-    strategy: str
-    model: str
-    node: str
-    num_requests: int
-    metrics: ServingMetrics
+    metrics: ServingMetrics = field(default=None)  # type: ignore[assignment]
     trace: Optional[Trace] = None
-    wall_events: int = 0
-    #: Recovery-layer summary; ``None`` unless faults/resilience were enabled.
-    resilience: Optional["ResilienceReport"] = None
-    #: Overload-layer summary; ``None`` unless admission control was enabled.
-    overload: Optional[OverloadReport] = None
-    #: The observability object the run was served with (bus + registry +
-    #: spans); ``None`` unless one was passed in.
-    observability: Optional[Observability] = None
 
     @property
     def avg_latency_ms(self) -> float:
@@ -90,6 +76,7 @@ class Server:
         node: NodeSpec,
         strategy: ParallelStrategy,
         *,
+        config: Optional[ServingConfig] = None,
         contention: Optional[ContentionModel] = None,
         record_trace: bool = True,
         check_memory: bool = True,
@@ -98,97 +85,39 @@ class Server:
         overload: Optional[OverloadConfig] = None,
         observability: Optional[Observability] = None,
     ) -> None:
-        if strategy.model is not model or strategy.node is not node:
-            raise ConfigError("strategy was built for a different model/node")
-        if check_memory:
-            check_placement(model, node)
+        config = ServingConfig.resolve(
+            config,
+            contention=contention,
+            record_trace=record_trace,
+            fault_plan=fault_plan,
+            resilience=resilience,
+            overload=overload,
+            observability=observability,
+        )
+        self.session = ServingSession(
+            model,
+            node,
+            strategy,
+            config=config,
+            check_memory=check_memory,
+            complete_callback=self._on_batch_complete,
+            use_overload_controller=True,
+            announce_arrivals=True,
+            recovery_uses_metrics=True,
+        )
+        s = self.session
         self.model = model
         self.node = node
         self.strategy = strategy
-        self.engine = Engine()
-        self.trace = Trace() if record_trace else None
-        self.machine = Machine(
-            node,
-            self.engine,
-            contention=contention or default_contention_for(node.name),
-            trace=self.trace,
-        )
-        self.host = Host(self.machine)
-        self.metrics = ServingMetrics()
-        self.obs = observability
-        #: The event bus, or ``None`` — every publish site is guarded by
-        #: ``if self.bus is not None`` so a plain server pays one attribute
-        #: check and allocates nothing (the zero-cost convention).
-        self.bus = observability.bus if observability is not None else None
-        strategy.bind(self.machine, self.host)
-        strategy.on_batch_complete(self._on_batch_complete)
-        self.recovery: Optional["RecoveryManager"] = None
-        if fault_plan is not None or resilience is not None:
-            self._init_recovery(fault_plan, resilience)
-        self.overload_ctl: Optional[OverloadController] = None
-        if overload is not None:
-            self.overload_ctl = OverloadController(
-                overload,
-                model,
-                node,
-                self.engine,
-                self.metrics,
-                self._submit,
-                bus=self.bus,
-            )
-            if self.recovery is not None:
-                self.overload_ctl.attach_recovery(self.recovery)
-                self.recovery.on_shed = self.overload_ctl.on_downstream_shed
-        if observability is not None:
-            if fault_plan is not None:
-                observability.note_fault_plan(fault_plan)
-            self._register_gauges(observability)
-
-    def _init_recovery(self, fault_plan, resilience) -> None:
-        """Arm the fault injector and recovery policy around the strategy.
-
-        Only reached when faults/resilience were requested: a plain server
-        leaves every fault hook unset, so fault support is zero-cost — the
-        timeline is bit-identical to a build without this subsystem.
-        """
-        # Imported lazily: repro.faults pulls in the parallel strategies,
-        # which import this module for type context.
-        from repro.faults.resilience import attach_recovery
-
-        self.recovery = attach_recovery(
-            self.model,
-            self.node,
-            self.strategy,
-            self.machine,
-            self.host,
-            fault_plan=fault_plan,
-            config=resilience,
-            metrics=self.metrics,
-            complete_callback=self._on_batch_complete,
-            bus=self.bus,
-        )
-
-    def _register_gauges(self, obs: Observability) -> None:
-        """Expose live pipeline readings for the sampling heartbeat."""
-        ctl = self.overload_ctl
-        if ctl is not None:
-            obs.register_gauge(
-                "repro_pending_queue_requests",
-                "Requests waiting in the bounded pending queue.",
-                lambda: float(ctl.queue_depth),
-            )
-            obs.register_gauge(
-                "repro_inflight_batches",
-                "Batches staged or dispatched downstream.",
-                lambda: float(ctl.inflight_batches),
-            )
-            if ctl.accountant is not None:
-                acct = ctl.accountant
-                obs.register_gauge(
-                    "repro_kv_used_bytes",
-                    "Per-GPU KV bytes charged by in-flight batches.",
-                    lambda: float(acct.used),
-                )
+        self.engine = s.engine
+        self.trace = s.trace
+        self.machine = s.machine
+        self.host = s.host
+        self.metrics = s.metrics
+        self.obs = s.obs
+        self.bus = s.bus
+        self.recovery = s.recovery
+        self.overload_ctl = s.overload_ctl
 
     # ------------------------------------------------------------------
     def _on_batch_complete(self, batch: Batch, time: float) -> None:
@@ -196,30 +125,11 @@ class Server:
         self.metrics.record(batch.requests)
         if self.bus is not None:
             self.bus.publish(BatchCompleted.from_batch(batch, time))
-        if self.overload_ctl is not None:
-            self.overload_ctl.on_complete(batch, time)
-
-    def _submit(self, batch: Batch) -> None:
-        """Hand one arrived batch to the strategy (via recovery if armed)."""
-        now = self.engine.now
-        batch.mark_dispatched(now)
-        if self.bus is not None:
-            self.bus.publish(BatchDispatched.from_batch(batch, now))
-        if self.recovery is not None:
-            self.recovery.submit(batch)
-        else:
-            self.strategy.submit_batch(batch)
+        self.session.notify_complete(batch, time)
 
     def _on_arrival(self, batch: Batch) -> None:
-        """Entry point at a batch's arrival time: admission, then submit."""
-        if self.overload_ctl is not None:
-            self.overload_ctl.on_arrival(batch)
-        else:
-            if self.bus is not None:
-                self.bus.publish(
-                    RequestsAdmitted.from_batch(batch, self.engine.now)
-                )
-            self._submit(batch)
+        """Entry point at a batch's arrival time: the submission pipeline."""
+        self.session.submit(batch)
 
     def run(self, batches: Sequence[Batch]) -> ServingResult:
         """Serve ``batches`` to completion and return metrics."""
@@ -232,30 +142,14 @@ class Server:
                 lambda b=batch: self._on_arrival(b),
                 priority=10,  # arrivals fire after same-time device events
             )
-        if self.recovery is not None:
-            self.recovery.arm()
-        if self.overload_ctl is not None:
-            self.overload_ctl.arm()
-        if self.obs is not None:
-            self.obs.arm(self.engine)
-        self.machine.run()
+        self.session.run_machine()
         expected = sum(b.size for b in ordered)
-        if self.metrics.num_terminal != expected:
-            # A simulation that returned without resolving every request is
-            # a wedge, not a configuration mistake: name the stuck batches.
-            shed = self.metrics.shed_requests
-            timed_out = self.metrics.timed_out_requests
-            if self.recovery is not None:
-                open_ids = self.recovery.open_batch_ids()
-            else:
-                open_ids = self.strategy.open_batch_ids()
-            raise DeadlockError(
-                f"served {self.metrics.num_completed} of {expected} requests"
-                f"{f' ({shed} shed)' if shed else ''}"
-                f"{f' ({timed_out} timed out)' if timed_out else ''} — "
-                f"batches never completed: "
-                f"{open_ids if open_ids else 'none open (lost)'}"
-            )
+        self.session.check_drained(
+            expected=expected,
+            completed=self.metrics.num_completed,
+            shed=self.metrics.shed_requests,
+            timed_out=self.metrics.timed_out_requests,
+        )
         return ServingResult(
             strategy=self.strategy.name,
             model=self.model.name,
@@ -264,11 +158,7 @@ class Server:
             metrics=self.metrics,
             trace=self.trace,
             wall_events=self.engine.events_processed,
-            resilience=(
-                self.recovery.finalize() if self.recovery is not None else None
-            ),
-            overload=(
-                self.overload_ctl.report if self.overload_ctl is not None else None
-            ),
+            resilience=self.session.finalize_resilience(),
+            overload=self.session.overload_report(),
             observability=self.obs,
         )

@@ -1,0 +1,141 @@
+"""Golden-trace scenarios for the serving-session equivalence tests.
+
+Each scenario runs one of the four servers with an *empty* serving
+configuration (no faults, no overload, no observability) and fingerprints
+the resulting kernel timeline.  The fingerprints in
+``tests/golden/serving_traces.json`` were captured from the pre-chassis
+servers; ``tests/test_session.py`` asserts the rebased servers reproduce
+them bit-for-bit (the zero-cost convention).
+
+Regenerate with ``PYTHONPATH=src python tests/serving_goldens.py`` — but
+only from a revision whose timelines are known-good; the whole point of
+the file is to pin behaviour across refactors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import re
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "serving_traces.json")
+
+#: (server, strategy) pairs the goldens cover.
+SCENARIOS = [
+    (server, strategy)
+    for server in ("server", "lifecycle", "static", "continuous")
+    for strategy in ("liger", "intra")
+]
+
+
+def reset_batch_ids() -> None:
+    """Rebase the process-global batch-id counter for a reproducible run."""
+    from repro.serving import request as request_mod
+
+    request_mod._batch_ids = itertools.count()
+
+
+def _model_node():
+    from repro.hw import v100_nvlink_node
+    from repro.models import OPT_30B
+
+    return OPT_30B.scaled_layers(4), v100_nvlink_node(4)
+
+
+def run_scenario(server: str, strategy: str, **extra):
+    """Serve one golden workload; returns (result, trace)."""
+    from repro.serving.api import make_strategy
+
+    reset_batch_ids()
+    model, node = _model_node()
+    strat = make_strategy(strategy, model, node)
+    if server == "server":
+        from repro.serving.server import Server
+        from repro.serving.workload import general_trace
+
+        batches = general_trace(12, 40.0, 2, seed=0)
+        srv = Server(
+            model, node, strat, record_trace=True, check_memory=False, **extra
+        )
+        result = srv.run(batches)
+        return result, result.trace
+    if server == "lifecycle":
+        from repro.serving.lifecycle import LifecycleServer, chat_workload
+
+        chats = chat_workload(6, 120.0, seed=0)
+        srv = LifecycleServer(
+            model, node, strat, prefill_batch=2, max_decode_batch=8,
+            record_trace=True, check_memory=False, **extra,
+        )
+        result = srv.run(chats)
+        return result, srv.trace
+    from repro.serving.generation import (
+        ContinuousBatchingServer,
+        StaticBatchingServer,
+        generation_workload,
+    )
+
+    jobs = generation_workload(8, 200.0, seed=0)
+    if server == "static":
+        srv = StaticBatchingServer(
+            model, node, strat, batch_size=4, record_trace=True,
+            check_memory=False, **extra,
+        )
+    elif server == "continuous":
+        srv = ContinuousBatchingServer(
+            model, node, strat, max_batch=8, pipeline_depth=2,
+            record_trace=True, check_memory=False, **extra,
+        )
+    else:
+        raise ValueError(f"unknown scenario server {server!r}")
+    result = srv.run(jobs)
+    return result, result.trace
+
+
+def normalized_rows(trace):
+    """Trace rows with the process-global batch-id counter rebased to 0."""
+    base = min((r.batch_id for r in trace.rows if r.batch_id >= 0), default=0)
+
+    def fix(name: str) -> str:
+        return re.sub(
+            r"_b(\d+)", lambda m: f"_b{int(m.group(1)) - base}", name
+        )
+
+    return [
+        (
+            r.gpu, r.stream, fix(r.name), r.kind.value,
+            r.batch_id - base if r.batch_id >= 0 else r.batch_id,
+            r.layer, r.op, repr(r.ready), repr(r.start), repr(r.end),
+            repr(r.noload_duration),
+        )
+        for r in trace.rows
+    ]
+
+
+def fingerprint(trace) -> dict:
+    """Bit-exact digest of a timeline plus human-debuggable aggregates."""
+    rows = normalized_rows(trace)
+    blob = json.dumps(rows, separators=(",", ":")).encode()
+    return {
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "num_rows": len(rows),
+        "last_end_us": repr(max((r.end for r in trace.rows), default=0.0)),
+    }
+
+
+def generate() -> dict:
+    goldens = {}
+    for server, strategy in SCENARIOS:
+        _, trace = run_scenario(server, strategy)
+        goldens[f"{server}/{strategy}"] = fingerprint(trace)
+    return goldens
+
+
+if __name__ == "__main__":
+    goldens = generate()
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(goldens, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(goldens)} fingerprint(s) to {GOLDEN_PATH}")

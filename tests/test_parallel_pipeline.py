@@ -6,9 +6,9 @@ import pytest
 
 from repro.hw import v100_nvlink_node
 from repro.models import OPT_30B
+from repro.models.ops import attention_op, elementwise_op, gemm_op
 from repro.parallel import InterOpStrategy, InterTheoreticalStrategy
 from repro.parallel.inter_theoretical import partition_op_for_theoretical
-from repro.models.ops import attention_op, elementwise_op, gemm_op
 from repro.serving import Server
 from repro.serving.request import Batch, Phase, Request
 from repro.serving.workload import general_trace

@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import DeadlockError, StreamProtocolError
+from repro.hw import v100_nvlink_node
 from repro.sim import (
     CudaEvent,
     Engine,
@@ -21,7 +22,6 @@ from repro.sim import (
     Trace,
 )
 from repro.sim.interconnect import CollectiveCostModel, NcclConfig
-from repro.hw import v100_nvlink_node
 
 
 def make_machine(num_gpus=2, contention=None):
