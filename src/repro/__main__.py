@@ -9,6 +9,7 @@ Usage::
     python -m repro --strategy liger --rate 55 --gantt   # ASCII timeline
     python -m repro faults --straggler 1:4.0:0:400       # fault injection
     python -m repro trace --out t.json --metrics-out m.prom  # observability
+    python -m repro perf --scale smoke                   # perf harness
 
 For figure regeneration use ``python -m repro.experiments``; for fault
 injection and recovery see ``python -m repro faults --help``; for the
@@ -41,6 +42,10 @@ def main(argv=None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.perf.cli import main as perf_main
+
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Serve a large language model on a simulated multi-GPU node.",

@@ -19,6 +19,7 @@ from repro.core.decomposition import (
     split_gemm_horizontal,
     split_gemm_vertical,
 )
+from repro.core.plan_cache import SchedulePlanCache
 from repro.core.runtime import LigerRuntime, RuntimeStats
 from repro.core.scheduler import LigerScheduler, Round
 
@@ -37,6 +38,7 @@ __all__ = [
     "split_allreduce",
     "LigerScheduler",
     "Round",
+    "SchedulePlanCache",
     "LigerRuntime",
     "RuntimeStats",
 ]

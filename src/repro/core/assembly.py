@@ -8,13 +8,23 @@ length"; here a :class:`KernelFunc` holds the :class:`~repro.models.ops.OpDesc`
 assembled :class:`FuncVec` is what Algorithm 1 consumes: it exposes the
 type-switch test (``FuncVec[0].switch()`` in the paper's pseudocode) and
 in-order pop, and accepts push-front for decomposition remainders.
+
+Assembly is a hot path under continuous batching — every decode iteration of
+every batch re-enumerates the same op sequence and re-attaches the same
+profiled durations.  :class:`FunctionAssembler` therefore memoizes assembled
+function lists by batch *shape* ``(phase, size, seq_len, context_len)``: a
+hit rebinds the cached wrappers to the new batch identity without touching
+the op enumerator or the profiler.  The cache key doubles as the FuncVec's
+``content_key``, which the schedule-plan cache
+(:mod:`repro.core.plan_cache`) builds its fingerprints on.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Deque, List
+from typing import Deque, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.models.ops import OpDesc
@@ -22,10 +32,10 @@ from repro.profiling.profiler import OpProfiler
 from repro.serving.request import Batch
 from repro.sim.kernel import KernelKind
 
-__all__ = ["KernelFunc", "FuncVec", "FunctionAssembler"]
+__all__ = ["KernelFunc", "FuncVec", "FunctionAssembler", "rebind"]
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelFunc:
     """One kernel launch wrapper (the paper's function-wrapper record)."""
 
@@ -50,15 +60,52 @@ class KernelFunc:
         return self.is_comm == (kind is KernelKind.COMM)
 
 
-class FuncVec:
-    """The assembled kernel-function list of one batch (FIFO with push-front)."""
+def rebind(
+    template: KernelFunc, *, batch_id: int, batch_size: int, seq_len: int
+) -> KernelFunc:
+    """A copy of ``template`` bound to another batch's identity.
 
-    def __init__(self, batch: Batch, funcs: List[KernelFunc]) -> None:
+    Bypasses ``__init__`` — the template's duration was validated when it was
+    first built, and the op/kind/decomposable fields are shared verbatim.
+    This is the assembly- and plan-cache replay primitive.
+    """
+    func = KernelFunc.__new__(KernelFunc)
+    func.op = template.op
+    func.duration = template.duration
+    func.kind = template.kind
+    func.batch_id = batch_id
+    func.batch_size = batch_size
+    func.seq_len = seq_len
+    func.decomposable = template.decomposable
+    return func
+
+
+class FuncVec:
+    """The assembled kernel-function list of one batch (FIFO with push-front).
+
+    ``content_key`` (optional) identifies the *content* of the original list
+    — assembler-cache key of the op sequence and durations.  When present,
+    :attr:`sig` exposes an incrementally-maintained consumption signature
+    ``(content_key, pops, front)`` that two FuncVecs share exactly when their
+    remaining kernel sequences are identical; the schedule-plan cache
+    fingerprints the processing list with it.  ``front`` records decomposition
+    remainders pushed back onto the head as ``(op_name, duration)`` tags.
+    """
+
+    def __init__(
+        self,
+        batch: Batch,
+        funcs: List[KernelFunc],
+        content_key: Optional[Tuple] = None,
+    ) -> None:
         if not funcs:
             raise ConfigError(f"batch {batch.batch_id}: empty function list")
         self.batch = batch
         self._funcs: Deque[KernelFunc] = deque(funcs)
         self.total_assembled = len(funcs)
+        self._content_key = content_key
+        self._popped = 0
+        self._front: Tuple = ()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -67,6 +114,13 @@ class FuncVec:
     @property
     def empty(self) -> bool:
         return not self._funcs
+
+    @property
+    def sig(self) -> Optional[Tuple]:
+        """Consumption signature for plan-cache fingerprints (or None)."""
+        if self._content_key is None:
+            return None
+        return (self._content_key, self._popped, self._front)
 
     def peek(self) -> KernelFunc:
         """The head kernel function without consuming it."""
@@ -78,10 +132,15 @@ class FuncVec:
         """Consume and return the head kernel function."""
         if not self._funcs:
             raise ConfigError("pop on empty FuncVec")
+        if self._front:
+            self._front = self._front[1:]
+        else:
+            self._popped += 1
         return self._funcs.popleft()
 
     def push_front(self, func: KernelFunc) -> None:
         """Return a decomposition remainder to the head of the list."""
+        self._front = ((func.op.name, func.duration),) + self._front
         self._funcs.appendleft(func)
 
     def next_switches(self) -> bool:
@@ -105,16 +164,53 @@ class FunctionAssembler:
     enumerate the per-device op sequence under the node's tensor-parallel
     degree, attaching profiled durations from the offline procedure's
     :class:`~repro.profiling.profiler.OpProfiler`.
+
+    ``cache_size`` > 0 enables the assembly cache: function lists are
+    memoized by batch shape ``(phase, size, seq_len, context_len)`` with LRU
+    eviction, and a hit rebinds the cached wrappers to the new batch without
+    calling ``strategy_ops_fn`` or the profiler.  **Contract:** the cache is
+    only sound when ``strategy_ops_fn`` is a pure function of those four
+    batch attributes (true for the built-in strategies, whose op enumerators
+    close over a fixed model and TP degree); leave it disabled for ops
+    functions that read anything else off the batch.
     """
 
-    def __init__(self, strategy_ops_fn, profiler: OpProfiler) -> None:
+    def __init__(
+        self, strategy_ops_fn, profiler: OpProfiler, *, cache_size: int = 0
+    ) -> None:
         """``strategy_ops_fn(batch) -> List[OpDesc]`` supplies the ops."""
         self._ops_fn = strategy_ops_fn
         self.profiler = profiler
         self.batches_assembled = 0
+        if cache_size < 0:
+            raise ConfigError("cache_size must be >= 0")
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[Tuple, Tuple[KernelFunc, ...]]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        #: Wall seconds spent enumerating ops + profiling on cache misses —
+        #: the cost a hit avoids (exported as a perf gauge).
+        self.build_seconds = 0.0
 
     def assemble(self, batch: Batch) -> FuncVec:
         """Build the batch's FuncVec with profiled durations (§3.2)."""
+        key: Optional[Tuple] = None
+        if self._cache_size:
+            key = (batch.phase, batch.size, batch.seq_len, batch.context_len)
+            templates = self._cache.get(key)
+            if templates is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                bid, size, seq = batch.batch_id, batch.size, batch.seq_len
+                funcs = [
+                    rebind(t, batch_id=bid, batch_size=size, seq_len=seq)
+                    for t in templates
+                ]
+                self.batches_assembled += 1
+                return FuncVec(batch, funcs, content_key=key)
+            self.cache_misses += 1
+        start = time.perf_counter()
         ops = self._ops_fn(batch)
         funcs = [
             KernelFunc(
@@ -128,5 +224,11 @@ class FunctionAssembler:
             )
             for op in ops
         ]
+        if key is not None:
+            self.build_seconds += time.perf_counter() - start
+            self._cache[key] = tuple(funcs)
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+                self.cache_evictions += 1
         self.batches_assembled += 1
-        return FuncVec(batch, funcs)
+        return FuncVec(batch, funcs, content_key=key)

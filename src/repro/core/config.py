@@ -78,6 +78,25 @@ class LigerConfig:
         Extra communication-kernel startup latency (µs) charged in pure
         ``INTER_STREAM`` mode — the empirically-observed launch-queue lag
         that motivated the hybrid approach.
+    enable_plan_cache:
+        Memoize Algorithm 1: when the scheduler's input state fingerprints
+        identically to an earlier planning call (same processing-list
+        shapes, same contention scales, same decomposition config), replay
+        the recorded round instead of re-planning.  Bit-identical to
+        planning from scratch; disable only to measure the planner.
+    plan_cache_size:
+        LRU capacity (entries) of the schedule-plan cache.
+    enable_assembly_cache:
+        Memoize function assembly by batch shape
+        (:class:`~repro.core.assembly.FunctionAssembler`).  Also what makes
+        FuncVecs fingerprintable — with this off the plan cache never hits.
+    enable_sim_memos:
+        The remaining hot-path memos this subsystem layers onto its
+        execution substrate: the machine's shape-keyed contention-slowdown
+        memo and the profiler's occupancy/memory-footprint memos.  The perf
+        harness's cache-off arm disables them together with the plan and
+        assembly caches so the A/B measures every cache as one unit; all of
+        them are bit-identical on/off.
     """
 
     max_inflight: int = 4
@@ -89,6 +108,10 @@ class LigerConfig:
     adaptive_anticipation: bool = False
     packing: str = "first_fit"
     comm_lag_penalty: float = us(12.0)
+    enable_plan_cache: bool = True
+    plan_cache_size: int = 256
+    enable_assembly_cache: bool = True
+    enable_sim_memos: bool = True
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -101,3 +124,5 @@ class LigerConfig:
             raise ConfigError(f"unknown packing policy {self.packing!r}")
         if self.comm_lag_penalty < 0:
             raise ConfigError("comm_lag_penalty must be >= 0")
+        if self.plan_cache_size < 1:
+            raise ConfigError("plan_cache_size must be >= 1")

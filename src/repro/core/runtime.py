@@ -24,12 +24,14 @@ Per the paper, the communication subset is launched first within a round.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.assembly import FunctionAssembler, KernelFunc
 from repro.core.config import LigerConfig, SyncMode
 from repro.core.contention import ContentionAnticipator
 from repro.core.decomposition import DecompositionPlanner
+from repro.core.plan_cache import SchedulePlanCache
 from repro.core.scheduler import LigerScheduler, Round
 from repro.parallel.base import instantiate_op
 from repro.profiling.profiler import OpProfiler
@@ -37,7 +39,7 @@ from repro.serving.request import Batch
 from repro.sim.events import CudaEvent
 from repro.sim.gpu import Machine
 from repro.sim.host import Host
-from repro.sim.kernel import KernelKind
+from repro.sim.kernel import Kernel, KernelKind
 from repro.sim.stream import Stream
 
 __all__ = ["LigerRuntime", "RuntimeStats"]
@@ -91,6 +93,12 @@ class LigerRuntime:
         )
         self.stats = RuntimeStats()
         self._gpus = list(range(machine.node.num_gpus))
+        #: Memoized Algorithm 1 (bit-identical replay of recurring rounds).
+        self.plan_cache: Optional[SchedulePlanCache] = (
+            SchedulePlanCache(self._gpus, max_entries=config.plan_cache_size)
+            if config.enable_plan_cache
+            else None
+        )
         self._s0: Dict[int, Stream] = {
             g: machine.gpu(g).stream("liger_s0") for g in self._gpus
         }
@@ -139,23 +147,23 @@ class LigerRuntime:
     # ------------------------------------------------------------------
     def _advance(self) -> None:
         """Plan and launch the next round; arrange the follow-up trigger."""
-        round_ = self.scheduler.plan_round()
-        if round_ is None:
+        planned = self._next_round()
+        if planned is None:
             self._chain_active = False
             self._flush_drained()
             return
         if self.config.sync_mode is SyncMode.INTER_STREAM:
             # Launch every plannable round immediately; new rounds only
             # become plannable when batches arrive, which re-enters here.
-            while round_ is not None:
-                self._launch_round(round_, pre_kick=False)
+            while planned is not None:
+                self._launch_round(*planned, pre_kick=False)
                 self._flush_drained()
-                round_ = self.scheduler.plan_round()
+                planned = self._next_round()
             self._chain_active = False
             self._flush_drained()
             return
         pre_kick = self.config.sync_mode is SyncMode.HYBRID
-        end_events = self._launch_round(round_, pre_kick=pre_kick)
+        end_events = self._launch_round(*planned, pre_kick=pre_kick)
         self._flush_drained()
         if self.config.sync_mode is SyncMode.CPU_GPU:
             # The CPU confirms completion on every GPU before relaunching.
@@ -172,25 +180,67 @@ class LigerRuntime:
             self._on_batch_drained(fv.batch.batch_id)
 
     # ------------------------------------------------------------------
+    def _next_round(self):
+        """Plan (or replay) the next round plus its instantiated kernels.
+
+        Returns ``(round, subset0_kernels, subset1_kernels)`` or None.  With
+        the plan cache enabled, a fingerprint hit replays the recorded round;
+        a miss plans normally while recording, then memoizes.
+        """
+        sched = self.scheduler
+        cache = self.plan_cache
+        if cache is None:
+            round_ = sched.plan_round()
+            if round_ is None:
+                return None
+            return round_, self._instantiate(round_.subset0), self._instantiate(
+                round_.subset1
+            )
+        sched._sweep_drained()
+        key = cache.fingerprint(sched)
+        if key is not None:
+            entry = cache.get(key)
+            if entry is not None:
+                return cache.replay(sched, entry)
+        start = perf_counter()
+        record: Optional[list] = [] if key is not None else None
+        round_ = sched.plan_swept(record)
+        if round_ is None:
+            return None
+        maps0 = self._instantiate(round_.subset0)
+        maps1 = self._instantiate(round_.subset1)
+        if key is not None:
+            cache.put(key, round_, record, maps0, maps1)
+        cache.build_seconds += perf_counter() - start
+        return round_, maps0, maps1
+
+    def _instantiate(self, funcs: List[KernelFunc]):
+        return [
+            instantiate_op(f.op, self._gpus, f.batch_id, self.profiler)
+            for f in funcs
+        ]
+
     def _launch_round(
-        self, round_: Round, *, pre_kick: bool
+        self,
+        round_: Round,
+        subset0_kernels: List[Dict[int, Kernel]],
+        subset1_kernels: List[Dict[int, Kernel]],
+        *,
+        pre_kick: bool,
     ) -> Dict[int, Tuple[Optional[CudaEvent], Optional[CudaEvent]]]:
-        """Issue one round's commands on every GPU; returns end events."""
+        """Issue one round's commands on every GPU; returns end events.
+
+        The kernel maps come from :meth:`_next_round` — instantiated fresh on
+        a plan-cache miss, rebuilt from prototypes on a hit — so this single
+        issue path serves both, which is what makes cache-on bit-identical
+        to cache-off.
+        """
         cfg = self.config
         inter_stream_gating = cfg.sync_mode in (SyncMode.HYBRID, SyncMode.INTER_STREAM)
         comm_lag = (
             cfg.comm_lag_penalty if cfg.sync_mode is SyncMode.INTER_STREAM else 0.0
         )
 
-        # Instantiate kernels: per-GPU clones / collectives, in subset order.
-        subset0_kernels = [
-            instantiate_op(f.op, self._gpus, f.batch_id, self.profiler)
-            for f in round_.subset0
-        ]
-        subset1_kernels = [
-            instantiate_op(f.op, self._gpus, f.batch_id, self.profiler)
-            for f in round_.subset1
-        ]
         self._account_launches(round_.subset0)
         self._account_launches(round_.subset1)
 

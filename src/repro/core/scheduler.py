@@ -49,7 +49,9 @@ class Round:
 
     def __post_init__(self) -> None:
         if not self.subset0:
-            raise ConfigError("a round requires a non-empty primary subset")
+            # A scheduling invariant, not a configuration mistake: Algorithm 1
+            # only produces a round after popping at least one primary kernel.
+            raise SchedulingError("a round requires a non-empty primary subset")
 
     @property
     def fill_fraction(self) -> float:
@@ -141,9 +143,22 @@ class LigerScheduler:
     # ------------------------------------------------------------------
     # Algorithm 1
     # ------------------------------------------------------------------
-    def plan_round(self) -> Optional[Round]:
+    def plan_round(self, record: Optional[List] = None) -> Optional[Round]:
         """Produce the next round, or None when no work is available."""
         self._sweep_drained()
+        return self.plan_swept(record)
+
+    def plan_swept(self, record: Optional[List] = None) -> Optional[Round]:
+        """Algorithm 1 proper, assuming :meth:`_sweep_drained` already ran.
+
+        The split from :meth:`plan_round` exists for the schedule-plan cache
+        (:mod:`repro.core.plan_cache`): the sweep mutates the processing list,
+        so the cache fingerprints *after* it and replays *instead of* the rest.
+        When ``record`` is a list it receives the secondary-subset packing
+        actions — ``(processing_index, None)`` for a whole-kernel pop and
+        ``(processing_index, (piece, rest))`` for a decomposition — enough to
+        replay this round's decisions without re-running the algorithm.
+        """
         if not self.processing:
             return None
         primary = self.processing[0]
@@ -164,9 +179,9 @@ class LigerScheduler:
         # --- collect opposite-type kernels from subsequent batches ------
         # (lines 10–20, plus §3.5 anticipation and §3.6 decomposition)
         if self.packing == "best_fit":
-            subset1, fill = self._pack_best_fit(kind, window)
+            subset1, fill = self._pack_best_fit(kind, window, record)
         else:
-            subset1, fill = self._pack_first_fit(kind, window)
+            subset1, fill = self._pack_first_fit(kind, window, record)
 
         round_ = Round(
             index=self.rounds_planned,
@@ -184,12 +199,12 @@ class LigerScheduler:
     # ------------------------------------------------------------------
     # Secondary-subset packing policies
     # ------------------------------------------------------------------
-    def _pack_first_fit(self, kind, window: float):
+    def _pack_first_fit(self, kind, window: float, record: Optional[List] = None):
         """The paper's policy: walk subsequent batches in arrival order."""
         subset1: List[KernelFunc] = []
         fill = 0.0
         remaining = window
-        for fv in self.processing[1:]:
+        for idx, fv in enumerate(self.processing[1:], start=1):
             while remaining > 0 and not fv.empty:
                 nxt = fv.peek()
                 if nxt.same_type_as(kind):
@@ -201,6 +216,8 @@ class LigerScheduler:
                 if anticipated <= remaining:
                     fv.pop()
                     subset1.append(nxt)
+                    if record is not None:
+                        record.append((idx, None))
                     fill += anticipated
                     remaining -= anticipated
                     continue
@@ -219,6 +236,8 @@ class LigerScheduler:
                 fv.pop()
                 fv.push_front(rest)
                 subset1.append(piece)
+                if record is not None:
+                    record.append((idx, (piece, rest)))
                 anticipated_piece = self.anticipator.anticipated(
                     piece.duration, piece.kind
                 )
@@ -227,7 +246,7 @@ class LigerScheduler:
                 break  # residual window is below the smallest division
         return subset1, fill
 
-    def _pack_best_fit(self, kind, window: float):
+    def _pack_best_fit(self, kind, window: float, record: Optional[List] = None):
         """Extension: greedy best-fit over eligible batch heads.
 
         Only the *head* kernel of each subsequent batch is eligible (batch
@@ -263,6 +282,8 @@ class LigerScheduler:
                         v.peek().duration, v.peek().kind
                     ),
                 )
+                if record is not None:
+                    record.append((self.processing.index(fv), None))
                 func = fv.pop()
                 anticipated = self.anticipator.anticipated(func.duration, func.kind)
                 subset1.append(func)
@@ -287,6 +308,8 @@ class LigerScheduler:
                 break
             piece, rest = best_split
             assert best_fv is not None
+            if record is not None:
+                record.append((self.processing.index(best_fv), (piece, rest)))
             best_fv.pop()
             best_fv.push_front(rest)
             subset1.append(piece)

@@ -49,7 +49,9 @@ class InterleavedStrategy(ParallelStrategy):
                 if self.config.reduce_nccl_channels
                 else NcclConfig()
             )
-            profiler = OpProfiler(node, nccl=nccl)
+            profiler = OpProfiler(
+                node, nccl=nccl, memoize=self.config.enable_sim_memos
+            )
         super().__init__(model, node, profiler=profiler)
         self.runtime: Optional[LigerRuntime] = None
 
@@ -60,6 +62,8 @@ class InterleavedStrategy(ParallelStrategy):
 
     def bind(self, machine, host, *, track_memory=None) -> None:
         super().bind(machine, host, track_memory=track_memory)
+        if not self.config.enable_sim_memos:
+            machine.slowdown_memo = False
         if self.config.adaptive_anticipation:
             # Extension: no offline pass — learn factors while serving.
             anticipator = AdaptiveAnticipator()
@@ -82,7 +86,14 @@ class InterleavedStrategy(ParallelStrategy):
                 ).profile(self.model)
             anticipator = ContentionAnticipator(factors)
         self.anticipator = anticipator
-        assembler = FunctionAssembler(self._batch_ops, self.profiler)
+        assembler = FunctionAssembler(
+            self._batch_ops,
+            self.profiler,
+            # _batch_ops is pure in (phase, size, seq_len, context_len) —
+            # the assembly-cache contract — because model and TP degree are
+            # fixed for the strategy's lifetime.
+            cache_size=128 if self.config.enable_assembly_cache else 0,
+        )
         self.runtime = LigerRuntime(
             machine,
             host,
@@ -138,3 +149,30 @@ class InterleavedStrategy(ParallelStrategy):
         if self.runtime is None:
             return None
         return self.runtime.stats
+
+    def perf_counters(self) -> dict:
+        """Hot-path cache statistics (plan cache + assembly cache).
+
+        The serving session exports these as ``repro_perf_*`` gauges when
+        observability is attached; the perf harness reads them directly.
+        """
+        if self.runtime is None:
+            return {}
+        assembler = self.runtime.assembler
+        out = {
+            "assembly_cache_hits": assembler.cache_hits,
+            "assembly_cache_misses": assembler.cache_misses,
+            "assembly_cache_evictions": assembler.cache_evictions,
+            "assembly_build_seconds": assembler.build_seconds,
+        }
+        cache = self.runtime.plan_cache
+        if cache is not None:
+            out.update(
+                plan_cache_hits=cache.hits,
+                plan_cache_misses=cache.misses,
+                plan_cache_evictions=cache.evictions,
+                plan_cache_uncacheable=cache.uncacheable,
+                plan_cache_entries=len(cache),
+                plan_build_seconds=cache.build_seconds,
+            )
+        return out

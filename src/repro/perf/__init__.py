@@ -1,0 +1,20 @@
+"""Performance benchmark harness — the repo's perf trajectory.
+
+``python -m repro perf`` times standardized serving scenarios (the Table-1
+models across all four servers, a steady-decode run, and a bursty-overload
+run), reports events/second and wall-clock per simulated second, and writes
+``BENCH_5.json`` at the repo root.  The two ablation scenarios additionally
+run an A/B between the hot-path caches on (the default configuration) and
+off (``enable_plan_cache=False, enable_assembly_cache=False,
+enable_sim_memos=False``) and report the speedup; the golden-trace suite
+separately proves both arms produce bit-identical timelines.
+
+Scale comes from ``LIGER_BENCH_SCALE`` (``smoke`` for CI seconds-scale runs,
+``full`` for the committed baseline), matching the convention of the
+``benchmarks/`` figure suite.
+"""
+
+from repro.perf.harness import run_suite, check_regression
+from repro.perf.scenarios import SCENARIOS, PerfScenario
+
+__all__ = ["run_suite", "check_regression", "SCENARIOS", "PerfScenario"]

@@ -1,0 +1,113 @@
+"""``python -m repro perf`` — run the perf harness.
+
+Usage::
+
+    python -m repro perf                          # smoke scale, print only
+    python -m repro perf --scale full --out BENCH_5.json
+    python -m repro perf --scenario steady_decode --repeats 7
+    python -m repro perf --check BENCH_5.json     # CI regression gate
+
+``--out`` merges the run into the per-scale sections of the baseline file
+(so a smoke run never clobbers the committed full-scale numbers), and
+``--check`` compares this run's events/sec against the matching scale
+section, exiting 1 on a >20% regression (``LIGER_PERF_TOLERANCE``
+overrides the threshold).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.errors import ReproError
+from repro.perf.harness import (
+    check_regression,
+    merge_into_baseline,
+    run_suite,
+)
+from repro.perf.scenarios import SCENARIOS
+
+
+def _print_doc(doc: dict) -> None:
+    print(f"perf suite [scale={doc['scale']}]")
+    for name, cell in doc["scenarios"].items():
+        if "cache_on" in cell:
+            on, off = cell["cache_on"], cell["cache_off"]
+            print(
+                f"  {name:24s} on={on['wall_s']:.3f}s "
+                f"off={off['wall_s']:.3f}s speedup={cell['speedup']:.2f}x "
+                f"({on['events_per_sec']:.0f} events/s, "
+                f"{on['wall_per_sim_s']:.4f} wall-s/sim-s)"
+            )
+        else:
+            print(
+                f"  {name:24s} {cell['wall_s']:.3f}s "
+                f"({cell['events_per_sec']:.0f} events/s, "
+                f"{cell['wall_per_sim_s']:.4f} wall-s/sim-s)"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro perf",
+        description="Time the standardized serving scenarios.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "full"),
+        default=os.environ.get("LIGER_BENCH_SCALE", "smoke"),
+        help="workload scale (default: $LIGER_BENCH_SCALE or smoke)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help=f"run only this scenario (repeatable); one of {sorted(SCENARIOS)}",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="best-of-N repeats per arm (default: 3 smoke / 5 full)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="merge results into this baseline file (e.g. BENCH_5.json)",
+    )
+    parser.add_argument(
+        "--check", metavar="PATH",
+        help="fail (exit 1) on events/sec regression vs this baseline",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        doc = run_suite(
+            args.scale,
+            only=args.scenario,
+            repeats=args.repeats,
+            progress=lambda name: print(f"· {name}", file=sys.stderr),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_doc(doc)
+
+    if args.out:
+        merged = merge_into_baseline(doc, args.out)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check_regression(doc, args.check)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"no events/sec regression vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

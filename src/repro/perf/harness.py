@@ -1,0 +1,194 @@
+"""Measurement core of the perf harness.
+
+Methodology
+-----------
+Single-process, interleaved, best-of-N.  Container wall clocks are noisy
+(±10–15% between invocations on a shared host), so each scenario is timed
+``repeats`` times and the **minimum** wall time is the estimate — the min
+converges on the uncontended cost, which is the quantity a cache can
+actually change.  Ablation arms are interleaved (on, off, on, off, …)
+rather than run back-to-back so slow host phases hit both arms equally.
+
+Reported per cell:
+
+* ``wall_s`` — best-of-N host seconds for the run;
+* ``events`` / ``events_per_sec`` — simulator events processed and the
+  resulting rate (the regression-guard metric: scenario event counts are
+  deterministic, so events/sec moves only when the hot path does);
+* ``sim_s`` / ``wall_per_sim_s`` — simulated seconds covered and host
+  seconds burned per simulated second;
+* cache counters from the strategy's ``perf_counters()`` when it has one.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.perf.scenarios import SCENARIOS, PerfScenario, bench_scale
+
+__all__ = ["run_suite", "check_regression", "measure"]
+
+#: Results-file schema version (bump on incompatible shape changes).
+SCHEMA_VERSION = 1
+
+#: Best-of-N repeats per (scenario, arm) at each scale.
+_REPEATS = {"smoke": 3, "full": 5}
+
+#: CI fails when a cell's events/sec drops below (1 - tolerance) × baseline.
+_DEFAULT_TOLERANCE = 0.20
+
+
+def _one_run(scenario: PerfScenario, scale: str, cache_on: bool) -> Dict:
+    srv, jobs = scenario.build(scale, cache_on)
+    gc.collect()
+    t0 = time.perf_counter()
+    result = srv.run(jobs)
+    wall = time.perf_counter() - t0
+    sim_us = srv.engine.now
+    cell = {
+        "wall_s": wall,
+        "events": result.wall_events,
+        "sim_s": sim_us / 1e6,
+    }
+    counters = getattr(srv.strategy, "perf_counters", None)
+    if counters is not None:
+        cell["counters"] = counters()
+    return cell
+
+
+def _finalize(cell: Dict) -> Dict:
+    wall = cell["wall_s"]
+    cell["wall_s"] = round(wall, 4)
+    cell["events_per_sec"] = round(cell["events"] / wall, 1) if wall > 0 else 0.0
+    sim_s = cell.pop("sim_s")
+    cell["sim_s"] = round(sim_s, 4)
+    cell["wall_per_sim_s"] = round(wall / sim_s, 4) if sim_s > 0 else 0.0
+    return cell
+
+
+def measure(
+    scenario: PerfScenario, scale: str, *, repeats: Optional[int] = None
+) -> Dict:
+    """Time one scenario; ablations get interleaved on/off arms."""
+    scale = bench_scale(scale)
+    n = repeats if repeats is not None else _REPEATS[scale]
+    if n < 1:
+        raise ConfigError(f"repeats must be >= 1, got {n}")
+    arms = (True, False) if scenario.ablate else (True,)
+    best: Dict[bool, Dict] = {}
+    for _ in range(n):
+        for cache_on in arms:
+            cell = _one_run(scenario, scale, cache_on)
+            prior = best.get(cache_on)
+            if prior is None or cell["wall_s"] < prior["wall_s"]:
+                best[cache_on] = cell
+    if not scenario.ablate:
+        return _finalize(best[True])
+    on, off = _finalize(best[True]), _finalize(best[False])
+    return {
+        "cache_on": on,
+        "cache_off": off,
+        "speedup": round(off["wall_s"] / on["wall_s"], 2)
+        if on["wall_s"] > 0 else 0.0,
+    }
+
+
+def run_suite(
+    scale: str,
+    *,
+    only: Optional[List[str]] = None,
+    repeats: Optional[int] = None,
+    progress=None,
+) -> Dict:
+    """Run the standardized scenarios; return the results document."""
+    scale = bench_scale(scale)
+    names = list(SCENARIOS) if not only else list(only)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise ConfigError(
+            f"unknown scenario(s) {unknown}; choose from {sorted(SCENARIOS)}"
+        )
+    scenarios: Dict[str, Dict] = {}
+    for name in names:
+        if progress is not None:
+            progress(name)
+        scenarios[name] = measure(SCENARIOS[name], scale, repeats=repeats)
+    return {
+        "schema": SCHEMA_VERSION,
+        "scale": scale,
+        "scenarios": scenarios,
+    }
+
+
+# ----------------------------------------------------------------------
+# Regression guard
+# ----------------------------------------------------------------------
+def _cells_with_rate(doc: Dict) -> Dict[str, float]:
+    """Flatten a results document to {cell name: events/sec}."""
+    out: Dict[str, float] = {}
+    for name, cell in doc.get("scenarios", {}).items():
+        if "cache_on" in cell:  # ablation: guard the default (on) arm
+            out[name] = cell["cache_on"]["events_per_sec"]
+        else:
+            out[name] = cell["events_per_sec"]
+    return out
+
+
+def check_regression(
+    current: Dict, baseline_path: str, *, tolerance: Optional[float] = None
+) -> List[str]:
+    """Compare events/sec against a committed baseline file.
+
+    Returns a list of human-readable failures (empty when clean).  Only
+    baselines recorded at the *same scale* are comparable — a smoke run is
+    never judged against full-scale numbers.
+    """
+    if tolerance is None:
+        tolerance = float(
+            os.environ.get("LIGER_PERF_TOLERANCE", _DEFAULT_TOLERANCE)
+        )
+    if not 0.0 < tolerance < 1.0:
+        raise ConfigError(f"tolerance must be in (0, 1), got {tolerance}")
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline_doc = json.load(fh)
+    baseline = baseline_doc.get("scales", {}).get(current["scale"])
+    if baseline is None:
+        return [
+            f"baseline {baseline_path} has no scale={current['scale']!r} "
+            "section; record one before enabling the regression gate"
+        ]
+    base_rates = _cells_with_rate(baseline)
+    cur_rates = _cells_with_rate(current)
+    failures = []
+    for name, base in sorted(base_rates.items()):
+        cur = cur_rates.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            failures.append(
+                f"{name}: {cur:.0f} events/s is {100 * (1 - cur / base):.0f}% "
+                f"below baseline {base:.0f} (tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def merge_into_baseline(doc: Dict, path: str) -> Dict:
+    """Fold one run into ``BENCH_5.json``'s per-scale sections."""
+    merged = {"schema": SCHEMA_VERSION, "scales": {}}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            prior = json.load(fh)
+        if isinstance(prior.get("scales"), dict):
+            merged["scales"].update(prior["scales"])
+    merged["scales"][doc["scale"]] = {
+        "scale": doc["scale"],
+        "scenarios": doc["scenarios"],
+    }
+    return merged

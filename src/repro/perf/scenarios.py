@@ -1,0 +1,260 @@
+"""Standardized perf scenarios.
+
+Every scenario is a *builder*: it constructs a fresh server + workload pair
+for one measured run, so repeated timings never share mutable state.  Two
+families:
+
+* **Matrix cells** — every Table-1 model on every server, liger strategy,
+  a short golden-style workload.  Tracked cache-on only; their events/sec
+  is the regression surface the CI perf job guards.
+* **Ablations** — ``steady_decode`` (the acceptance scenario: recurring
+  decode shapes on the continuous-batching server, where the plan cache
+  replays nearly every round) and ``bursty_overload``.  Measured twice,
+  caches on vs caches off, and reported with the speedup.
+
+Scales:
+
+* ``smoke`` — layer-reduced models and short workloads; seconds total (CI);
+* ``full``  — the committed-baseline scale (minutes total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["PerfScenario", "SCENARIOS", "ablation_config", "bench_scale"]
+
+#: Steady-decode tuning: division factor and processing-list size chosen to
+#: maximize round recurrence (gen_tokens=(1,1) keeps every decode shape
+#: identical, so the plan cache hits on >95% of rounds after warmup).
+_STEADY_DIVISION = 16
+_STEADY_INFLIGHT = 6
+
+
+def bench_scale(scale: str) -> str:
+    """Validate and return a perf scale (``smoke`` or ``full``)."""
+    if scale not in ("smoke", "full"):
+        raise ConfigError(f"perf scale must be smoke/full, got {scale!r}")
+    return scale
+
+
+def ablation_config(cache_on: bool, **overrides):
+    """The A/B arms: every PR-introduced cache toggled as one unit.
+
+    The off arm disables the schedule-plan cache, the assembly cache, and
+    the simulator memos (machine slowdown-shape memo + profiler occupancy/
+    memory memos) together — the harness measures "all hot-path caches" vs
+    "none", and the golden suite pins both arms to identical timelines.
+    """
+    from repro.core import LigerConfig
+
+    return LigerConfig(
+        enable_plan_cache=cache_on,
+        enable_assembly_cache=cache_on,
+        enable_sim_memos=cache_on,
+        **overrides,
+    )
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One standardized measurement target.
+
+    ``build(scale, cache_on)`` returns ``(server, jobs)`` ready for one
+    ``server.run(jobs)`` call.  ``ablate`` marks the scenario as an A/B
+    (measured with caches on *and* off); matrix cells are cache-on only.
+    """
+
+    name: str
+    description: str
+    build: Callable[[str, bool], Tuple[object, object]]
+    ablate: bool = False
+
+
+def _reset_batch_ids() -> None:
+    # The process-global batch-id counter must rebase between measured runs
+    # so repeated builds produce identical kernel names (and identical
+    # fingerprints for the plan cache to hit on).
+    import itertools
+
+    from repro.serving import request as request_mod
+
+    request_mod._batch_ids = itertools.count()
+
+
+# ----------------------------------------------------------------------
+# Ablation scenarios
+# ----------------------------------------------------------------------
+def _build_steady_decode(scale: str, cache_on: bool):
+    """The acceptance scenario: steady decode on continuous batching.
+
+    Single-token generations at a fixed context length arriving above the
+    service rate keep the processing list saturated with recurring shapes —
+    the workload the plan cache is built for.
+    """
+    from repro.hw import v100_nvlink_node
+    from repro.models import OPT_30B
+    from repro.serving.api import make_strategy
+    from repro.serving.generation import (
+        ContinuousBatchingServer,
+        generation_workload,
+    )
+
+    _reset_batch_ids()
+    model = OPT_30B.scaled_layers(4)
+    node = v100_nvlink_node(2)
+    cfg = ablation_config(
+        cache_on,
+        max_inflight=_STEADY_INFLIGHT,
+        division_factor=_STEADY_DIVISION,
+    )
+    strat = make_strategy("liger", model, node, config=cfg)
+    n = 1440 if scale == "full" else 240
+    jobs = generation_workload(
+        n, 1200.0, context_len=16, gen_tokens=(1, 1), seed=0
+    )
+    srv = ContinuousBatchingServer(
+        model, node, strat, max_batch=8, pipeline_depth=2,
+        record_trace=False, check_memory=False,
+    )
+    return srv, jobs
+
+
+def _build_bursty_overload(scale: str, cache_on: bool):
+    """Bursty arrivals: alternating burst/lull phases above the mean rate.
+
+    Bursts mix queue depths, so round fingerprints recur less than in
+    steady decode — the cache's hit rate (and speedup) is expected to be
+    lower here; the scenario exists to keep that regime measured.
+    """
+    from repro.hw import v100_nvlink_node
+    from repro.models import OPT_30B
+    from repro.serving.api import make_strategy
+    from repro.serving.arrival import BurstyProcess
+    from repro.serving.generation import (
+        ContinuousBatchingServer,
+        generation_workload,
+    )
+
+    _reset_batch_ids()
+    model = OPT_30B.scaled_layers(4)
+    node = v100_nvlink_node(2)
+    cfg = ablation_config(
+        cache_on,
+        max_inflight=_STEADY_INFLIGHT,
+        division_factor=_STEADY_DIVISION,
+    )
+    strat = make_strategy("liger", model, node, config=cfg)
+    n = 720 if scale == "full" else 160
+    jobs = generation_workload(
+        n, 1200.0, context_len=16, gen_tokens=(1, 2), seed=0,
+        arrival=BurstyProcess(1200.0, burstiness=4.0, phase_requests=32),
+    )
+    srv = ContinuousBatchingServer(
+        model, node, strat, max_batch=8, pipeline_depth=2,
+        record_trace=False, check_memory=False,
+    )
+    return srv, jobs
+
+
+# ----------------------------------------------------------------------
+# Table-1 matrix cells
+# ----------------------------------------------------------------------
+def _matrix_builder(model_name: str, server: str):
+    def _build(scale: str, cache_on: bool):
+        from repro.hw import v100_nvlink_node
+        from repro.models import MODELS
+        from repro.serving.api import make_strategy
+
+        _reset_batch_ids()
+        layers = 4 if scale == "full" else 2
+        model = MODELS[model_name].scaled_layers(layers)
+        node = v100_nvlink_node(4)
+        strat = make_strategy(
+            "liger", model, node, config=ablation_config(cache_on)
+        )
+        if server == "server":
+            from repro.serving.server import Server
+            from repro.serving.workload import general_trace
+
+            batches = general_trace(12, 40.0, 2, seed=0)
+            srv = Server(
+                model, node, strat, record_trace=False, check_memory=False
+            )
+            return srv, batches
+        if server == "lifecycle":
+            from repro.serving.lifecycle import LifecycleServer, chat_workload
+
+            chats = chat_workload(6, 120.0, seed=0)
+            srv = LifecycleServer(
+                model, node, strat, prefill_batch=2, max_decode_batch=8,
+                record_trace=False, check_memory=False,
+            )
+            return srv, chats
+        from repro.serving.generation import (
+            ContinuousBatchingServer,
+            StaticBatchingServer,
+            generation_workload,
+        )
+
+        jobs = generation_workload(16, 200.0, seed=0)
+        if server == "static":
+            srv = StaticBatchingServer(
+                model, node, strat, batch_size=4,
+                record_trace=False, check_memory=False,
+            )
+        elif server == "continuous":
+            srv = ContinuousBatchingServer(
+                model, node, strat, max_batch=8, pipeline_depth=2,
+                record_trace=False, check_memory=False,
+            )
+        else:  # pragma: no cover - registry is static
+            raise ConfigError(f"unknown matrix server {server!r}")
+        return srv, jobs
+
+    return _build
+
+
+_TABLE1_MODELS = ("OPT-30B", "OPT-66B", "GLM-130B")
+_SERVERS = ("server", "static", "continuous", "lifecycle")
+
+
+def _all_scenarios() -> Dict[str, PerfScenario]:
+    scenarios: List[PerfScenario] = [
+        PerfScenario(
+            name="steady_decode",
+            description=(
+                "Single-token decode at a saturating constant rate on the "
+                "continuous-batching server (the plan cache's home turf)"
+            ),
+            build=_build_steady_decode,
+            ablate=True,
+        ),
+        PerfScenario(
+            name="bursty_overload",
+            description=(
+                "Burst/lull arrivals above the service rate on the "
+                "continuous-batching server"
+            ),
+            build=_build_bursty_overload,
+            ablate=True,
+        ),
+    ]
+    for model_name in _TABLE1_MODELS:
+        for server in _SERVERS:
+            key = model_name.replace("-", "_").lower()
+            scenarios.append(
+                PerfScenario(
+                    name=f"{key}/{server}",
+                    description=f"{model_name} on the {server} server, liger",
+                    build=_matrix_builder(model_name, server),
+                )
+            )
+    return {s.name: s for s in scenarios}
+
+
+#: Every standardized scenario, keyed by name.
+SCENARIOS: Dict[str, PerfScenario] = _all_scenarios()

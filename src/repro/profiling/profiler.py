@@ -71,6 +71,11 @@ class OpProfiler:
         config (§3.5); baselines profile with NCCL defaults.
     participants:
         Ranks collectives run over (defaults to all GPUs of the node).
+    memoize:
+        Cache per-op occupancy/memory-intensity lookups (the duration
+        profile database itself is always cached — it *is* the profile).
+        The perf harness's cache-off arm disables this to measure the
+        pre-memo hot path; results are bit-identical either way.
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class OpProfiler:
         cost_model: Optional[KernelCostModel] = None,
         nccl: Optional[NcclConfig] = None,
         participants: Optional[Sequence[int]] = None,
+        memoize: bool = True,
     ) -> None:
         self.node = node
         self.cost_model = cost_model or KernelCostModel(node.gpu)
@@ -88,7 +94,10 @@ class OpProfiler:
         self.participants = (
             list(participants) if participants is not None else list(range(node.num_gpus))
         )
+        self.memoize = memoize
         self._cache: Dict[Tuple, float] = {}
+        self._occ_cache: Dict[Tuple, float] = {}
+        self._mem_cache: Dict[Tuple, float] = {}
 
     # ------------------------------------------------------------------
     # The profile database
@@ -109,18 +118,36 @@ class OpProfiler:
         return value
 
     def occupancy(self, op: OpDesc) -> float:
-        """SM footprint of the op's kernel."""
+        """SM footprint of the op's kernel, memoized when enabled."""
+        if self.memoize:
+            key = op_key(op)
+            hit = self._occ_cache.get(key)
+            if hit is not None:
+                return hit
         if op.is_comm:
-            return self.nccl.occupancy if op.op == "all_reduce" else min(
+            value = self.nccl.occupancy if op.op == "all_reduce" else min(
                 self.nccl.occupancy, 0.04
             )
-        return self.cost_model.occupancy(op)
+        else:
+            value = self.cost_model.occupancy(op)
+        if self.memoize:
+            self._occ_cache[key] = value
+        return value
 
     def memory_intensity(self, op: OpDesc) -> float:
-        """HBM footprint of the op's kernel."""
+        """HBM footprint of the op's kernel, memoized when enabled."""
+        if self.memoize:
+            key = op_key(op)
+            hit = self._mem_cache.get(key)
+            if hit is not None:
+                return hit
         if op.is_comm:
-            return self.collectives._comm_memory_intensity(op.comm_bytes)
-        return self.cost_model.memory_intensity(op)
+            value = self.collectives._comm_memory_intensity(op.comm_bytes)
+        else:
+            value = self.cost_model.memory_intensity(op)
+        if self.memoize:
+            self._mem_cache[key] = value
+        return value
 
     @property
     def cache_size(self) -> int:

@@ -66,11 +66,12 @@ def make_strategy(
     registry = _strategy_registry()
     if name not in registry:
         raise ConfigError(f"unknown strategy {name!r}; choose from {STRATEGIES}")
-    if profiler is None:
-        # Liger ships with the reduced NCCL footprint (§3.5 mitigation);
-        # baselines keep the library defaults.
-        nccl = NcclConfig().reduced() if name == "liger" else NcclConfig()
-        profiler = OpProfiler(node, nccl=nccl)
+    if profiler is None and name != "liger":
+        # Baselines profile with NCCL library defaults.  Liger builds its
+        # own profiler so its config governs the reduced NCCL footprint
+        # (§3.5 mitigation) and the profiler-memo toggle — pre-building one
+        # here would silently override both flags.
+        profiler = OpProfiler(node, nccl=NcclConfig())
     return registry[name](model, node, profiler=profiler, **kwargs)
 
 

@@ -501,6 +501,7 @@ class ServingSession:
             if config.fault_plan is not None:
                 self.obs.note_fault_plan(config.fault_plan)
             self._register_overload_gauges(self.obs)
+            self._register_perf_gauges(self.obs)
 
     @staticmethod
     def _reject_unwired(batch: Batch) -> None:  # pragma: no cover - guard
@@ -547,6 +548,34 @@ class ServingSession:
                 "Per-GPU KV bytes charged by in-flight batches.",
                 lambda: float(acct.used),
             )
+
+    #: The ``perf`` section of the Prometheus export: hot-path cache
+    #: statistics, published only by strategies that expose
+    #: ``perf_counters()`` (duck-typed — the session stays strategy-agnostic).
+    _PERF_GAUGE_HELP = {
+        "plan_cache_hits": "Schedule-plan cache hits (rounds replayed).",
+        "plan_cache_misses": "Schedule-plan cache misses (Algorithm 1 ran).",
+        "plan_cache_evictions": "Schedule-plan cache LRU evictions.",
+        "plan_cache_uncacheable": "Planning calls with unfingerprintable input.",
+        "plan_cache_entries": "Live entries in the schedule-plan cache.",
+        "plan_build_seconds": "Host seconds spent planning on cache misses.",
+        "assembly_cache_hits": "Function-assembly cache hits (rebinds).",
+        "assembly_cache_misses": "Function-assembly cache misses (rebuilds).",
+        "assembly_cache_evictions": "Function-assembly cache LRU evictions.",
+        "assembly_build_seconds": "Host seconds spent assembling on misses.",
+    }
+
+    def _register_perf_gauges(self, obs: Observability) -> None:
+        """Expose plan/assembly cache counters as ``repro_perf_*`` gauges."""
+        counters = getattr(self.strategy, "perf_counters", None)
+        if counters is None:
+            return
+
+        def _reader(key: str) -> Callable[[], float]:
+            return lambda: float(counters().get(key, 0.0))
+
+        for key, help_text in self._PERF_GAUGE_HELP.items():
+            obs.register_gauge(f"repro_perf_{key}", help_text, _reader(key))
 
     # ------------------------------------------------------------------
     # Run control

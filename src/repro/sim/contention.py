@@ -36,6 +36,14 @@ __all__ = ["ContentionModel", "NullContention", "DefaultContention", "default_co
 class ContentionModel:
     """Interface: map a device's resident kernel set to per-kernel slowdowns."""
 
+    #: True when :meth:`slowdowns` reads nothing but each kernel's
+    #: ``(kind, occupancy, memory_intensity)`` shape.  Lets the machine
+    #: memoize slowdown vectors by resident *shape* (identical shapes recur
+    #: endlessly under steady-state decode) instead of recomputing on every
+    #: resident-set change.  Leave False in a subclass that reads any other
+    #: kernel attribute — the machine then only uses its per-epoch cache.
+    pure_in_shape = False
+
     def slowdowns(self, resident: Iterable[Kernel]) -> Dict[int, float]:
         """Return ``{kernel.uid: slowdown}`` for every resident kernel.
 
@@ -51,6 +59,8 @@ class NullContention(ContentionModel):
     Used by unit tests and by the ``no-contention`` ablation, where Liger's
     contention factors should profile to exactly 1.0.
     """
+
+    pure_in_shape = True
 
     def slowdowns(self, resident: Iterable[Kernel]) -> Dict[int, float]:
         return {k.uid: 1.0 for k in resident}
@@ -87,6 +97,10 @@ class DefaultContention(ContentionModel):
     same_kind_compute: float = 0.85
     same_kind_comm: float = 0.60
     memory_pressure: float = 0.35
+
+    # Reads only kind/occupancy/memory_intensity below (uid is just the
+    # output key) — eligible for the machine's shape-keyed memo.
+    pure_in_shape = True
 
     def __post_init__(self) -> None:
         for name in (

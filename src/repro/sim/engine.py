@@ -1,7 +1,7 @@
 """Discrete-event simulation engine.
 
 A deliberately small, deterministic event loop: a binary heap of
-``(time, priority, sequence, callback)`` tuples.  Determinism matters more
+``(time, priority, sequence, handle)`` tuples.  Determinism matters more
 than generality here — the Liger scheduler's behaviour depends on exact
 kernel orderings, and the test suite asserts reproducible timelines — so ties
 are broken first by an explicit priority and then by insertion order, and the
@@ -9,7 +9,11 @@ engine contains no randomness and no wall-clock access.
 
 Events can be cancelled (kernel-completion events are rescheduled every time
 the running set on a GPU changes); cancellation is O(1) by tombstoning the
-handle rather than re-heapifying.
+handle rather than re-heapifying.  Tombstones are normally swallowed lazily
+at pop time, but a workload that cancels much more than it fires (the single
+completion timer under heavy churn) would otherwise grow the heap without
+bound — so once cancelled entries outnumber live ones the heap is compacted
+in one O(n) filter-and-heapify pass.
 """
 
 from __future__ import annotations
@@ -17,36 +21,37 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 __all__ = ["Engine", "EventHandle"]
 
-
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    priority: int
-    seq: int
-    handle: "EventHandle" = field(compare=False)
+#: Lazy tombstone swallowing keeps small heaps cheap; compaction only kicks
+#: in past this floor (and only when tombstones outnumber live entries).
+_COMPACT_MIN_TOMBSTONES = 64
 
 
 class EventHandle:
     """A scheduled callback; call :meth:`cancel` to prevent it from firing."""
 
-    __slots__ = ("time", "callback", "cancelled")
+    __slots__ = ("time", "callback", "cancelled", "_engine")
 
-    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+    def __init__(
+        self, time: float, callback: Callable[[], None], engine: "Engine"
+    ) -> None:
         self.time = time
         self.callback: Optional[Callable[[], None]] = callback
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; safe after firing."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.callback = None
+        self._engine._note_cancel()
 
 
 class Engine:
@@ -60,11 +65,15 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[_HeapEntry] = []
+        self._heap: List[Tuple[float, int, int, EventHandle]] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
         self._live_beats = 0
+        # O(1) liveness bookkeeping: live entries still on the heap, and
+        # cancelled entries (tombstones) not yet swallowed by a pop.
+        self._live = 0
+        self._tombstones = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -81,9 +90,20 @@ class Engine:
         ``priority`` breaks ties among events at the same timestamp (lower
         fires first); insertion order breaks remaining ties.
         """
-        if not math.isfinite(delay) or delay < 0:
+        if not math.isfinite(delay):
+            raise SimulationError(
+                f"cannot schedule event with non-finite delay {delay} us"
+            )
+        if delay < 0:
             raise SimulationError(f"cannot schedule event {delay} us in the past")
-        return self.schedule_at(self.now + delay, callback, priority=priority)
+        # Inlined schedule_at: with delay >= 0 finite, now + delay is finite
+        # and never below now, so its checks and clamp would all be no-ops.
+        handle = EventHandle(self.now + delay, callback, self)
+        heapq.heappush(
+            self._heap, (handle.time, priority, next(self._seq), handle)
+        )
+        self._live += 1
+        return handle
 
     def schedule_at(
         self,
@@ -99,9 +119,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self.now}"
             )
-        handle = EventHandle(max(time, self.now), callback)
-        entry = _HeapEntry(handle.time, priority, next(self._seq), handle)
-        heapq.heappush(self._heap, entry)
+        handle = EventHandle(max(time, self.now), callback, self)
+        heapq.heappush(self._heap, (handle.time, priority, next(self._seq), handle))
+        self._live += 1
         return handle
 
     def heartbeat(
@@ -137,6 +157,31 @@ class Engine:
         self.schedule(interval, _beat, priority=priority)
 
     # ------------------------------------------------------------------
+    # Tombstone bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """A live heap entry became a tombstone; compact when they dominate."""
+        self._live -= 1
+        self._tombstones += 1
+        if (
+            self._tombstones > _COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e[3].cancelled]
+            heapq.heapify(self._heap)
+            self._tombstones = 0
+
+    def _consume(self, handle: EventHandle) -> Optional[Callable[[], None]]:
+        """Take a popped live entry's callback; late cancels become no-ops."""
+        self._live -= 1
+        callback = handle.callback
+        # Mark consumed directly — the entry is already off the heap, so this
+        # must not count as a tombstone.
+        handle.cancelled = True
+        handle.callback = None
+        return callback
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: int = 200_000_000) -> float:
@@ -155,18 +200,23 @@ class Engine:
         self._running = True
         try:
             processed = 0
-            while self._heap:
-                entry = self._heap[0]
-                handle = entry.handle
+            heap = self._heap
+            while heap:
+                entry = heap[0]
+                handle = entry[3]
                 if handle.cancelled:
-                    heapq.heappop(self._heap)
+                    heapq.heappop(heap)
+                    self._tombstones -= 1
                     continue
-                if until is not None and entry.time > until:
+                if until is not None and entry[0] > until:
                     break
-                heapq.heappop(self._heap)
-                self.now = entry.time
+                heapq.heappop(heap)
+                self.now = entry[0]
+                # Inlined _consume — one call per event adds up.
+                self._live -= 1
                 callback = handle.callback
-                handle.cancel()  # mark consumed so late cancels are harmless
+                handle.cancelled = True
+                handle.callback = None
                 if callback is not None:
                     callback()
                 processed += 1
@@ -176,6 +226,7 @@ class Engine:
                         f"exceeded max_events={max_events}; "
                         "likely a feedback loop in a callback"
                     )
+                heap = self._heap  # compaction may have replaced the list
             if until is not None and until > self.now:
                 self.now = until
             return self.now
@@ -186,12 +237,12 @@ class Engine:
         """Execute exactly one pending event.  Returns False when idle."""
         while self._heap:
             entry = heapq.heappop(self._heap)
-            handle = entry.handle
+            handle = entry[3]
             if handle.cancelled:
+                self._tombstones -= 1
                 continue
-            self.now = entry.time
-            callback = handle.callback
-            handle.cancel()
+            self.now = entry[0]
+            callback = self._consume(handle)
             if callback is not None:
                 callback()
             self._events_processed += 1
@@ -204,7 +255,7 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.handle.cancelled)
+        return self._live
 
     @property
     def events_processed(self) -> int:
@@ -213,6 +264,7 @@ class Engine:
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None when idle."""
-        while self._heap and self._heap[0].handle.cancelled:
+        while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+            self._tombstones -= 1
+        return self._heap[0][0] if self._heap else None

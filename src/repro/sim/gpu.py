@@ -40,7 +40,7 @@ from repro.sim.contention import ContentionModel, DefaultContention
 from repro.sim.engine import Engine, EventHandle
 from repro.sim.events import CudaEvent
 from repro.sim.kernel import CollectiveOp, Kernel
-from repro.sim.stream import Command, CommandKind, Stream
+from repro.sim.stream import Command, CommandKind, Stream, _fast_command
 from repro.sim.tracing import Trace
 
 __all__ = ["Machine", "Gpu"]
@@ -48,8 +48,18 @@ __all__ = ["Machine", "Gpu"]
 _EPS = 1e-6
 _ready_seq = itertools.count()
 
+# Hoisted enum members: the pump compares command kinds ~100k times per
+# simulated second of decode, and a module-global load beats two attribute
+# lookups at that call volume.
+_LAUNCH = CommandKind.LAUNCH
+_RECORD_EVENT = CommandKind.RECORD_EVENT
+_WAIT_EVENT = CommandKind.WAIT_EVENT
 
-@dataclass
+#: Shared empty slowdown map for devices with nothing resident.
+_NO_SLOWDOWNS: Dict[int, float] = {}
+
+
+@dataclass(slots=True)
 class _RunState:
     """A kernel that is ready or resident on a device."""
 
@@ -65,7 +75,7 @@ class _RunState:
     stretched: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _CollectiveRun:
     """Shared progress state of an in-flight collective."""
 
@@ -91,6 +101,12 @@ class Gpu:
         self.ready: List[_RunState] = []
         self.resident: Dict[int, _RunState] = {}
         self.used_occupancy = 0.0
+        #: Non-collective residents in admission order — the progress
+        #: integrator iterates this instead of re-filtering ``resident``.
+        self.active_local: Dict[int, _RunState] = {}
+        #: Bumped on every admit/release; keys the machine's per-device
+        #: contention-slowdown cache.
+        self.resident_epoch = 0
 
     def stream(self, name: str, priority: int = 0) -> Stream:
         """Get-or-create the stream named ``name`` on this device.
@@ -175,9 +191,33 @@ class Machine:
         self.fault_injector = None
         self.gpus: List[Gpu] = [Gpu(i, self) for i in range(node.num_gpus)]
         self._collectives: Dict[int, _CollectiveRun] = {}
+        #: Per-device contention slowdown maps, keyed by ``resident_epoch``.
+        #: Valid because contention models are pure functions of the resident
+        #: kernel set (fault inflation is layered on top, never cached).
+        self._slowdown_cache: Dict[int, tuple] = {}
+        #: Shape-keyed slowdown vectors (see ContentionModel.pure_in_shape):
+        #: steady-state decode re-creates the same resident shapes with fresh
+        #: kernel uids, so the epoch cache alone misses constantly.
+        self._shape_cache: Dict[tuple, tuple] = {}
+        self._contention_pure_in_shape = bool(
+            getattr(self.contention, "pure_in_shape", False)
+        )
+        #: Public toggle for the shape memo (the model must also declare
+        #: ``pure_in_shape``).  The perf harness's cache-off arm clears it
+        #: to measure the pre-memo hot path; output is bit-identical.
+        self.slowdown_memo = True
         self._last_bank_time = 0.0
         self._completion_timer: Optional[EventHandle] = None
         self._pump_scheduled: Dict[int, bool] = {}
+        # Pre-bound per-device pump callbacks: the pump-scheduling paths and
+        # event waiters fire tens of thousands of times per simulated second,
+        # and building a fresh closure for each showed up in profiles.
+        self._run_pump_fns: List[Callable[[], None]] = [
+            (lambda gid=g.gpu_id: self._run_pump(gid)) for g in self.gpus
+        ]
+        self._kick_pump_fns: List[Callable[[], None]] = [
+            (lambda gid=g.gpu_id: self._schedule_pump(gid)) for g in self.gpus
+        ]
         self.kernels_completed = 0
         # Observers notified with each completed kernel (serving layer hooks).
         self._completion_observers: List[Callable[[Kernel, float], None]] = []
@@ -199,44 +239,65 @@ class Machine:
     # Command submission (host side)
     # ------------------------------------------------------------------
     def submit(self, stream: Stream, command: Command) -> None:
-        """Enqueue a command; schedules a pump for when it becomes available.
+        """Enqueue a command; a pump is scheduled only when one is needed.
 
         When the device already has ``max_connections`` busier streams, the
         command additionally pays the connection-contention delay before the
         device sees it (soft CUDA_DEVICE_MAX_CONNECTIONS model).
+
+        A pump at the command's availability instant is scheduled *eagerly*
+        only when the stream was idle — otherwise something ahead of this
+        command (a running kernel, a blocked event, an earlier queued
+        command) still has to retire, and each of those retirements already
+        triggers a pump; if that pump finds this command waiting at the head
+        it schedules the availability pump *lazily* at the pre-stamped
+        ``Command.pump_at``, which makes the skipped eager pumps pure
+        no-ops removed from the event stream.
         """
         gpu = self.gpus[stream.gpu_id]
-        busy = [s for s in gpu.streams if not s.idle or s is stream]
-        if stream in busy and busy.index(stream) >= self.max_connections:
+        # Position of this stream among the device's busy streams (the old
+        # busy-list was built only to take this index); the idle test is
+        # inlined — this is the hottest property access in the simulator.
+        earlier_busy = 0
+        for s in gpu.streams:
+            if s is stream:
+                break
+            if s.queue or s.running_kernel is not None or s.blocked_on_event is not None:
+                earlier_busy += 1
+        if earlier_busy >= self.max_connections:
             command.available_at += self.connection_contention_delay
         if stream.visibility_penalty:
             command.available_at += stream.visibility_penalty
         if self.fault_injector is not None:
             command.available_at += self.fault_injector.submit_delay(stream)
-        stream.enqueue(command)
-        delay = max(0.0, command.available_at - self.engine.now)
-        self._schedule_pump(stream.gpu_id, delay)
+        was_idle = not (
+            stream.queue
+            or stream.running_kernel is not None
+            or stream.blocked_on_event is not None
+        )
+        stream.queue.append(command)
+        now = self.engine.now
+        delay = command.available_at - now
+        if delay <= _EPS:
+            command.pump_at = now
+            if was_idle:
+                self._schedule_pump(stream.gpu_id, 0.0)
+        else:
+            command.pump_at = now + delay
+            if was_idle:
+                self._schedule_avail_pump(stream, command)
 
     def launch(self, stream: Stream, kernel: Kernel, available_at: float) -> None:
         """Convenience: submit a LAUNCH command."""
-        self.submit(
-            stream,
-            Command(CommandKind.LAUNCH, available_at=available_at, kernel=kernel),
-        )
+        self.submit(stream, _fast_command(_LAUNCH, available_at, kernel=kernel))
 
     def record_event(self, stream: Stream, event: CudaEvent, available_at: float) -> None:
         """Convenience: submit a RECORD_EVENT command."""
-        self.submit(
-            stream,
-            Command(CommandKind.RECORD_EVENT, available_at=available_at, event=event),
-        )
+        self.submit(stream, _fast_command(_RECORD_EVENT, available_at, event=event))
 
     def wait_event(self, stream: Stream, event: CudaEvent, available_at: float) -> None:
         """Convenience: submit a WAIT_EVENT command."""
-        self.submit(
-            stream,
-            Command(CommandKind.WAIT_EVENT, available_at=available_at, event=event),
-        )
+        self.submit(stream, _fast_command(_WAIT_EVENT, available_at, event=event))
 
     # ------------------------------------------------------------------
     # Running
@@ -277,54 +338,60 @@ class Machine:
             if self._pump_scheduled.get(gpu_id):
                 return
             self._pump_scheduled[gpu_id] = True
-            self.engine.schedule(0.0, lambda: self._run_pump(gpu_id), priority=5)
+            self.engine.schedule(0.0, self._run_pump_fns[gpu_id], priority=5)
         else:
-            self.engine.schedule(delay, lambda: self._run_pump(gpu_id), priority=5)
+            self.engine.schedule(delay, self._run_pump_fns[gpu_id], priority=5)
+
+    def _schedule_avail_pump(self, stream: Stream, command: Command) -> None:
+        """Arm one pump at ``command.pump_at`` (dedup'd per stream head)."""
+        if stream.avail_pump_at == command.pump_at:
+            return
+        stream.avail_pump_at = command.pump_at
+        self.engine.schedule_at(
+            command.pump_at, self._run_pump_fns[stream.gpu_id], priority=5
+        )
 
     def _run_pump(self, gpu_id: int) -> None:
         self._pump_scheduled[gpu_id] = False
         self._pump(self.gpus[gpu_id])
 
     def _pump(self, gpu: Gpu) -> None:
-        """Advance every stream on ``gpu`` as far as dependencies allow."""
+        """Advance every stream on ``gpu`` as far as dependencies allow.
+
+        The sweep processes at most one command per stream per pass — the
+        per-pass round-robin is load-bearing, because ``ready_seq`` (and
+        with it same-instant admission order) follows pop order.
+        """
         now = self.engine.now
+        threshold = now + _EPS
+        streams = gpu.streams
         progressed = True
         became_ready = False
         while progressed:
             progressed = False
-            for stream in gpu.streams:
+            for stream in streams:
                 if stream.running_kernel is not None:
                     continue
-                if stream.blocked_on_event is not None:
-                    if stream.blocked_on_event.is_recorded:
+                blocked = stream.blocked_on_event
+                if blocked is not None:
+                    if blocked.is_recorded:
                         stream.blocked_on_event = None
                     else:
                         continue
-                cmd = stream.head()
-                if cmd is None:
+                queue = stream.queue
+                if not queue:
                     continue
-                if cmd.available_at > now + _EPS:
-                    continue  # pump already scheduled at availability time
-                if cmd.kind is CommandKind.WAIT_EVENT:
-                    stream.pop_head()
-                    event = cmd.event
-                    assert event is not None
-                    if event.is_recorded:
-                        progressed = True
-                    else:
-                        stream.blocked_on_event = event
-                        event.add_stream_waiter(
-                            lambda gid=gpu.gpu_id: self._schedule_pump(gid)
-                        )
-                elif cmd.kind is CommandKind.RECORD_EVENT:
-                    stream.pop_head()
-                    assert cmd.event is not None
-                    cmd.event.record(now, self._deferred)
-                    progressed = True
-                elif cmd.kind is CommandKind.LAUNCH:
-                    stream.pop_head()
+                cmd = queue[0]
+                if cmd.available_at > threshold:
+                    # Not yet visible: make sure a pump fires at availability
+                    # (the eager submit-time pump is elided for busy streams).
+                    self._schedule_avail_pump(stream, cmd)
+                    continue
+                kind = cmd.kind
+                if kind is _LAUNCH:
+                    stream.retired += 1
+                    queue.popleft()
                     kernel = cmd.kernel
-                    assert kernel is not None
                     stream.running_kernel = kernel
                     gpu.ready.append(
                         _RunState(
@@ -336,6 +403,20 @@ class Machine:
                     )
                     became_ready = True
                     progressed = True
+                elif kind is _RECORD_EVENT:
+                    stream.retired += 1
+                    queue.popleft()
+                    cmd.event.record(now, self._deferred)
+                    progressed = True
+                else:  # WAIT_EVENT
+                    stream.retired += 1
+                    queue.popleft()
+                    event = cmd.event
+                    if event.is_recorded:
+                        progressed = True
+                    else:
+                        stream.blocked_on_event = event
+                        event.add_stream_waiter(self._kick_pump_fns[gpu.gpu_id])
         if became_ready or gpu.ready:
             self._try_admit(gpu)
 
@@ -385,7 +466,10 @@ class Machine:
         rs.remaining = rs.kernel.duration
         gpu.resident[rs.kernel.uid] = rs
         gpu.used_occupancy += rs.kernel.occupancy
+        gpu.resident_epoch += 1
         coll = rs.kernel.collective
+        if coll is None:
+            gpu.active_local[rs.kernel.uid] = rs
         if coll is not None:
             crun = self._collectives.get(coll.uid)
             if crun is None:
@@ -402,16 +486,6 @@ class Machine:
     # ------------------------------------------------------------------
     # Progress integration
     # ------------------------------------------------------------------
-    def _active_items(self):
-        """(local runs, started collective runs) currently making progress."""
-        locals_: List[_RunState] = []
-        for gpu in self.gpus:
-            for rs in gpu.resident.values():
-                if rs.kernel.collective is None:
-                    locals_.append(rs)
-        colls = [c for c in self._collectives.values() if c.started]
-        return locals_, colls
-
     def _bank_progress(self) -> None:
         """Integrate elapsed progress at the current slowdowns."""
         now = self.engine.now
@@ -419,36 +493,52 @@ class Machine:
         if dt <= _EPS:
             self._last_bank_time = now
             return
-        locals_, colls = self._active_items()
-        for rs in locals_:
-            rs.remaining = max(0.0, rs.remaining - dt / rs.slowdown)
-            rs.stretched += dt
-        for crun in colls:
-            crun.remaining = max(0.0, crun.remaining - dt / crun.slowdown)
-            crun.stretched += dt
+        for gpu in self.gpus:
+            for rs in gpu.active_local.values():
+                rem = rs.remaining - dt / rs.slowdown
+                rs.remaining = rem if rem > 0.0 else 0.0
+                rs.stretched += dt
+        for crun in self._collectives.values():
+            if crun.started_at >= 0.0:
+                rem = crun.remaining - dt / crun.slowdown
+                crun.remaining = rem if rem > 0.0 else 0.0
+                crun.stretched += dt
         self._last_bank_time = now
 
-    def _recompute_slowdowns(self) -> None:
-        per_kernel: Dict[int, float] = {}
-        for gpu in self.gpus:
-            if gpu.resident:
-                per_kernel.update(self.contention.slowdowns(gpu.resident_kernels()))
-        locals_, colls = self._active_items()
-        inj = self.fault_injector
-        # Clamp: a contention model may never accelerate kernels (< 1.0
-        # would break work conservation) — defend against custom models.
-        for rs in locals_:
-            slow = max(1.0, per_kernel.get(rs.kernel.uid, 1.0))
-            if inj is not None:
-                slow *= inj.kernel_inflation(rs.kernel, rs.gpu_id)
-            rs.slowdown = slow
-        for crun in colls:
-            member_slow = [
-                max(1.0, per_kernel.get(rs.kernel.uid, 1.0))
-                * (1.0 if inj is None else inj.kernel_inflation(rs.kernel, gid))
-                for gid, rs in crun.members.items()
-            ]
-            crun.slowdown = max(member_slow) if member_slow else 1.0
+    def _gpu_slowdowns(self, gpu: Gpu) -> Dict[int, float]:
+        """Contention map for one device, cached per resident-set epoch.
+
+        When the model declares shape purity, the slowdown *vector* is
+        additionally memoized by the resident kernels' shapes — new uids
+        with recurring shapes (the steady-decode pattern) skip the model
+        entirely and just re-key the cached floats.
+        """
+        cached = self._slowdown_cache.get(gpu.gpu_id)
+        if cached is not None and cached[0] == gpu.resident_epoch:
+            return cached[1]
+        kernels = [rs.kernel for rs in gpu.resident.values()]
+        if self._contention_pure_in_shape and self.slowdown_memo:
+            shape = tuple(
+                (k.kind, k.occupancy, k.memory_intensity) for k in kernels
+            )
+            values = self._shape_cache.get(shape)
+            if values is None:
+                per_kernel = self.contention.slowdowns(kernels)
+                self._shape_cache[shape] = tuple(
+                    per_kernel[k.uid] for k in kernels
+                )
+                if len(self._shape_cache) > 8192:
+                    # Unbounded shape diversity (e.g. a bursty prefill mix)
+                    # must not leak; recurring shapes repopulate quickly.
+                    self._shape_cache.clear()
+            else:
+                per_kernel = {
+                    k.uid: v for k, v in zip(kernels, values)
+                }
+        else:
+            per_kernel = self.contention.slowdowns(kernels)
+        self._slowdown_cache[gpu.gpu_id] = (gpu.resident_epoch, per_kernel)
+        return per_kernel
 
     def refresh_rates(self) -> None:
         """Re-bank progress and recompute slowdowns at the current instant.
@@ -462,16 +552,60 @@ class Machine:
         self._reschedule()
 
     def _reschedule(self) -> None:
-        """Recompute rates and (re)arm the single completion timer."""
-        self._recompute_slowdowns()
-        locals_, colls = self._active_items()
+        """Recompute rates and (re)arm the single completion timer.
+
+        One fused pass over the active sets: per-kernel contention slowdowns
+        (cached per device epoch), the ≥ 1.0 clamp (a contention model may
+        never accelerate kernels — defends against custom models), fault
+        inflation, and the min-scan for the next completion instant.  These
+        used to be three separate walks; this is the hottest path in the
+        simulator under steady-state decode.
+        """
+        # Per-device maps are consulted in place (uids are globally unique,
+        # so the old merged dict was pure overhead); ``maps`` is kept for the
+        # collective loop, whose members span devices.
+        inj = self.fault_injector
+        cache = self._slowdown_cache
+        maps: List[Dict[int, float]] = []
         next_dt: Optional[float] = None
-        for rs in locals_:
-            dt = rs.remaining * rs.slowdown
-            next_dt = dt if next_dt is None else min(next_dt, dt)
-        for crun in colls:
-            dt = crun.remaining * crun.slowdown
-            next_dt = dt if next_dt is None else min(next_dt, dt)
+        for gpu in self.gpus:
+            if not gpu.resident:
+                maps.append(_NO_SLOWDOWNS)
+                continue
+            cached = cache.get(gpu.gpu_id)
+            if cached is not None and cached[0] == gpu.resident_epoch:
+                per_kernel = cached[1]
+            else:
+                per_kernel = self._gpu_slowdowns(gpu)
+            maps.append(per_kernel)
+            get_slow = per_kernel.get
+            for rs in gpu.active_local.values():
+                slow = get_slow(rs.kernel.uid, 1.0)
+                if slow < 1.0:
+                    slow = 1.0
+                if inj is not None:
+                    slow *= inj.kernel_inflation(rs.kernel, rs.gpu_id)
+                rs.slowdown = slow
+                dt = rs.remaining * slow
+                if next_dt is None or dt < next_dt:
+                    next_dt = dt
+        for crun in self._collectives.values():
+            if crun.started_at < 0.0:
+                continue
+            slow = None
+            for gid, rs in crun.members.items():
+                member = maps[gid].get(rs.kernel.uid, 1.0)
+                if member < 1.0:
+                    member = 1.0
+                if inj is not None:
+                    member *= inj.kernel_inflation(rs.kernel, gid)
+                if slow is None or member > slow:
+                    slow = member
+            slow = 1.0 if slow is None else slow
+            crun.slowdown = slow
+            dt = crun.remaining * slow
+            if next_dt is None or dt < next_dt:
+                next_dt = dt
         if self._completion_timer is not None:
             self._completion_timer.cancel()
             self._completion_timer = None
@@ -486,15 +620,23 @@ class Machine:
         now = self.engine.now
         touched: set = set()
 
-        locals_, colls = self._active_items()
-        for rs in list(locals_):
-            if rs.remaining <= _EPS:
-                self._complete_local(rs, now)
-                touched.add(rs.gpu_id)
-        for crun in list(colls):
-            if crun.remaining <= _EPS:
-                self._complete_collective(crun, now)
-                touched.update(crun.members.keys())
+        due_locals = [
+            rs
+            for gpu in self.gpus
+            for rs in gpu.active_local.values()
+            if rs.remaining <= _EPS
+        ]
+        due_colls = [
+            crun
+            for crun in self._collectives.values()
+            if crun.started_at >= 0.0 and crun.remaining <= _EPS
+        ]
+        for rs in due_locals:
+            self._complete_local(rs, now)
+            touched.add(rs.gpu_id)
+        for crun in due_colls:
+            self._complete_collective(crun, now)
+            touched.update(crun.members.keys())
 
         for gpu_id in touched:
             self._pump(self.gpus[gpu_id])
@@ -506,7 +648,9 @@ class Machine:
     def _release(self, rs: _RunState) -> None:
         gpu = self.gpus[rs.gpu_id]
         del gpu.resident[rs.kernel.uid]
+        gpu.active_local.pop(rs.kernel.uid, None)
         gpu.used_occupancy = max(0.0, gpu.used_occupancy - rs.kernel.occupancy)
+        gpu.resident_epoch += 1
         if rs.stream.running_kernel is rs.kernel:
             rs.stream.running_kernel = None
 

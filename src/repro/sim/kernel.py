@@ -63,7 +63,7 @@ class CollectiveKind(enum.Enum):
     REDUCE_SCATTER = "reduce_scatter"
 
 
-@dataclass
+@dataclass(slots=True)
 class Kernel:
     """One GPU kernel instance.
 
@@ -156,7 +156,7 @@ class Kernel:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class CollectiveOp:
     """A group of COMM kernels executing one collective across GPUs.
 

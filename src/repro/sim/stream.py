@@ -36,7 +36,7 @@ class CommandKind(enum.Enum):
     WAIT_EVENT = "wait_event"
 
 
-@dataclass
+@dataclass(slots=True)
 class Command:
     """One entry in a stream's FIFO."""
 
@@ -45,6 +45,12 @@ class Command:
     kernel: Optional[Kernel] = None
     event: Optional[CudaEvent] = None
     seq: int = field(default_factory=lambda: next(_stream_ids))
+    #: The instant the machine would pump this command into view, stamped at
+    #: submit time with the exact ``now + max(0, available_at - now)`` float
+    #: arithmetic the submit-time pump used to be scheduled with — so a pump
+    #: scheduled lazily (when the command is first seen waiting at its
+    #: stream's head) fires at the bit-identical time.
+    pump_at: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind is CommandKind.LAUNCH and self.kernel is None:
@@ -52,6 +58,22 @@ class Command:
         if self.kind in (CommandKind.RECORD_EVENT, CommandKind.WAIT_EVENT):
             if self.event is None:
                 raise ConfigError(f"{self.kind.value} command requires an event")
+
+
+def _fast_command(kind, available_at, kernel=None, event=None) -> Command:
+    """Hot-path Command constructor bypassing dataclass machinery.
+
+    Only the machine's typed convenience wrappers call this; they guarantee
+    the kind/payload pairing ``__post_init__`` enforces for ad-hoc callers.
+    """
+    cmd = Command.__new__(Command)
+    cmd.kind = kind
+    cmd.available_at = available_at
+    cmd.kernel = kernel
+    cmd.event = event
+    cmd.seq = next(_stream_ids)
+    cmd.pump_at = 0.0
+    return cmd
 
 
 class Stream:
@@ -87,6 +109,9 @@ class Stream:
         #: for the window of a degraded-host fault; 0.0 (the default) is
         #: bit-exact with no delay at all.
         self.visibility_penalty: float = 0.0
+        #: Latest ``pump_at`` the machine has already scheduled a lazy
+        #: availability pump for (dedup marker owned by the machine).
+        self.avail_pump_at: float = -1.0
 
     # ------------------------------------------------------------------
     def enqueue(self, command: Command) -> None:

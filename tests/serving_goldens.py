@@ -44,13 +44,52 @@ def _model_node():
     return OPT_30B.scaled_layers(4), v100_nvlink_node(4)
 
 
-def run_scenario(server: str, strategy: str, **extra):
-    """Serve one golden workload; returns (result, trace)."""
+def _make_scenario_strategy(strategy: str, model, node, cache_off: bool):
+    """Build the scenario strategy, optionally with every hot-path cache off.
+
+    The off arm disables the plan cache, assembly cache, and profiler memos
+    (liger config flags) — and, for strategies without a config, the
+    profiler memos directly; the machine's slowdown memo is flipped by
+    :func:`run_scenario` after the server builds it.
+    """
     from repro.serving.api import make_strategy
 
+    if not cache_off:
+        return make_strategy(strategy, model, node)
+    if strategy == "liger":
+        from repro.core import LigerConfig
+
+        return make_strategy(
+            strategy, model, node,
+            config=LigerConfig(
+                enable_plan_cache=False,
+                enable_assembly_cache=False,
+                enable_sim_memos=False,
+            ),
+        )
+    from repro.profiling.profiler import OpProfiler
+
+    return make_strategy(
+        strategy, model, node, profiler=OpProfiler(node, memoize=False)
+    )
+
+
+def run_scenario(server: str, strategy: str, cache_off: bool = False, **extra):
+    """Serve one golden workload; returns (result, trace).
+
+    ``cache_off=True`` runs the same scenario with every hot-path cache
+    disabled — the equivalence tests assert both arms fingerprint
+    identically to the committed golden.
+    """
     reset_batch_ids()
     model, node = _model_node()
-    strat = make_strategy(strategy, model, node)
+    strat = _make_scenario_strategy(strategy, model, node, cache_off)
+
+    def _run(srv, payload):
+        if cache_off:
+            srv.session.machine.slowdown_memo = False
+        return srv.run(payload)
+
     if server == "server":
         from repro.serving.server import Server
         from repro.serving.workload import general_trace
@@ -59,7 +98,7 @@ def run_scenario(server: str, strategy: str, **extra):
         srv = Server(
             model, node, strat, record_trace=True, check_memory=False, **extra
         )
-        result = srv.run(batches)
+        result = _run(srv, batches)
         return result, result.trace
     if server == "lifecycle":
         from repro.serving.lifecycle import LifecycleServer, chat_workload
@@ -69,7 +108,7 @@ def run_scenario(server: str, strategy: str, **extra):
             model, node, strat, prefill_batch=2, max_decode_batch=8,
             record_trace=True, check_memory=False, **extra,
         )
-        result = srv.run(chats)
+        result = _run(srv, chats)
         return result, srv.trace
     from repro.serving.generation import (
         ContinuousBatchingServer,
@@ -90,7 +129,7 @@ def run_scenario(server: str, strategy: str, **extra):
         )
     else:
         raise ValueError(f"unknown scenario server {server!r}")
-    result = srv.run(jobs)
+    result = _run(srv, jobs)
     return result, result.trace
 
 

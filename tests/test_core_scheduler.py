@@ -212,7 +212,9 @@ class TestDecompositionIntegration:
         r.validate_principle1()
 
     def test_round_rejects_empty_primary(self):
-        with pytest.raises(ConfigError):
+        # An empty primary subset is a broken scheduling invariant, not a
+        # user-config mistake.
+        with pytest.raises(SchedulingError):
             Round(index=0, primary_kind=KernelKind.COMPUTE, subset0=[], subset1=[],
                   window=0.0, secondary_fill=0.0)
 

@@ -1,0 +1,131 @@
+"""Perf-harness plumbing: regression gate, baseline merge, scenario registry.
+
+Measurement itself is exercised by the CI ``perf`` job (and its timing is
+noise-prone by nature); these tests pin the deterministic logic around it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf.harness import check_regression, merge_into_baseline
+from repro.perf.scenarios import SCENARIOS, ablation_config, bench_scale
+
+
+def _doc(scale: str, rates: dict) -> dict:
+    return {
+        "schema": 1,
+        "scale": scale,
+        "scenarios": {
+            name: (
+                {
+                    "cache_on": {"events_per_sec": rate, "wall_s": 1.0},
+                    "cache_off": {"events_per_sec": rate / 2, "wall_s": 2.0},
+                    "speedup": 2.0,
+                }
+                if name == "steady_decode"
+                else {"events_per_sec": rate, "wall_s": 1.0}
+            )
+            for name, rate in rates.items()
+        },
+    }
+
+
+def _baseline_file(tmp_path, scale: str, rates: dict) -> str:
+    path = tmp_path / "BENCH_5.json"
+    doc = merge_into_baseline(_doc(scale, rates), str(path))
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestCheckRegression:
+    def test_clean_run_passes(self, tmp_path):
+        base = _baseline_file(
+            tmp_path, "smoke", {"steady_decode": 1000.0, "a/b": 500.0}
+        )
+        current = _doc("smoke", {"steady_decode": 990.0, "a/b": 520.0})
+        assert check_regression(current, base) == []
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        base = _baseline_file(tmp_path, "smoke", {"a/b": 1000.0})
+        current = _doc("smoke", {"a/b": 700.0})  # -30% < -20% floor
+        failures = check_regression(current, base)
+        assert len(failures) == 1
+        assert "a/b" in failures[0] and "below baseline" in failures[0]
+
+    def test_ablation_cells_guard_the_cache_on_arm(self, tmp_path):
+        base = _baseline_file(tmp_path, "smoke", {"steady_decode": 1000.0})
+        current = _doc("smoke", {"steady_decode": 500.0})
+        assert len(check_regression(current, base)) == 1
+
+    def test_missing_cell_fails(self, tmp_path):
+        base = _baseline_file(
+            tmp_path, "smoke", {"a/b": 1000.0, "c/d": 1000.0}
+        )
+        current = _doc("smoke", {"a/b": 1000.0})
+        failures = check_regression(current, base)
+        assert failures == ["c/d: missing from current run"]
+
+    def test_scale_sections_never_cross(self, tmp_path):
+        """A smoke run must not be judged against full-scale numbers."""
+        base = _baseline_file(tmp_path, "full", {"a/b": 1000.0})
+        current = _doc("smoke", {"a/b": 10.0})
+        failures = check_regression(current, base)
+        assert len(failures) == 1
+        assert "no scale='smoke' section" in failures[0]
+
+    def test_tolerance_override(self, tmp_path):
+        base = _baseline_file(tmp_path, "smoke", {"a/b": 1000.0})
+        current = _doc("smoke", {"a/b": 900.0})  # -10%
+        assert check_regression(current, base) == []
+        assert len(check_regression(current, base, tolerance=0.05)) == 1
+        with pytest.raises(ConfigError):
+            check_regression(current, base, tolerance=1.5)
+
+
+class TestMergeIntoBaseline:
+    def test_merge_preserves_other_scales(self, tmp_path):
+        path = str(tmp_path / "BENCH_5.json")
+        first = merge_into_baseline(_doc("full", {"a/b": 1000.0}), path)
+        (tmp_path / "BENCH_5.json").write_text(json.dumps(first))
+        second = merge_into_baseline(_doc("smoke", {"a/b": 100.0}), path)
+        assert set(second["scales"]) == {"smoke", "full"}
+        full = second["scales"]["full"]["scenarios"]["a/b"]
+        assert full["events_per_sec"] == 1000.0
+
+    def test_same_scale_overwrites(self, tmp_path):
+        path = str(tmp_path / "BENCH_5.json")
+        first = merge_into_baseline(_doc("smoke", {"a/b": 1.0}), path)
+        (tmp_path / "BENCH_5.json").write_text(json.dumps(first))
+        second = merge_into_baseline(_doc("smoke", {"a/b": 2.0}), path)
+        assert (
+            second["scales"]["smoke"]["scenarios"]["a/b"]["events_per_sec"]
+            == 2.0
+        )
+
+
+class TestRegistry:
+    def test_expected_scenarios_present(self):
+        assert "steady_decode" in SCENARIOS
+        assert "bursty_overload" in SCENARIOS
+        assert SCENARIOS["steady_decode"].ablate
+        # Table-1 matrix: 3 models × 4 servers.
+        matrix = [n for n in SCENARIOS if "/" in n]
+        assert len(matrix) == 12
+        assert not any(SCENARIOS[n].ablate for n in matrix)
+
+    def test_bench_scale_validates(self):
+        assert bench_scale("smoke") == "smoke"
+        with pytest.raises(ConfigError):
+            bench_scale("quick")
+
+    def test_ablation_config_toggles_every_cache(self):
+        off = ablation_config(False)
+        assert not off.enable_plan_cache
+        assert not off.enable_assembly_cache
+        assert not off.enable_sim_memos
+        on = ablation_config(True, division_factor=16)
+        assert on.enable_plan_cache and on.division_factor == 16
