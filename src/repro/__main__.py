@@ -10,10 +10,12 @@ Usage::
     python -m repro faults --straggler 1:4.0:0:400       # fault injection
     python -m repro trace --out t.json --metrics-out m.prom  # observability
     python -m repro perf --scale smoke                   # perf harness
+    python -m repro chaos --replicas 3 --crashes 1       # cluster chaos
 
 For figure regeneration use ``python -m repro.experiments``; for fault
 injection and recovery see ``python -m repro faults --help``; for the
-merged Perfetto timeline see ``python -m repro trace --help``.
+merged Perfetto timeline see ``python -m repro trace --help``; for
+replicated-cluster chaos testing see ``python -m repro chaos --help``.
 """
 
 from __future__ import annotations
@@ -46,6 +48,10 @@ def main(argv=None) -> int:
         from repro.perf.cli import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.cluster.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Serve a large language model on a simulated multi-GPU node.",

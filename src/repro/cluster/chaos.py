@@ -1,0 +1,398 @@
+"""Chaos harness: randomized node-failure schedules with hard invariants.
+
+The harness drives trace-driven traffic through a replicated cluster under
+a *seeded* random failure schedule and asserts the liveness/goodput
+invariants a fault-tolerant serving tier must keep:
+
+1. **Terminal** — every admitted request reaches exactly one terminal
+   state (completed / shed / timed-out); nothing is lost.  Exactly-once is
+   enforced structurally by the request state machine (a second terminal
+   transition raises) and by the router's completion-ownership gate.
+2. **No unhealthy dispatch** — the router never hands work to a node it
+   has marked unhealthy (``unhealthy_dispatches == 0``).
+3. **Goodput floor** — killing a minority of replicas degrades goodput
+   proportionally; it must not collapse below the configured floor.
+
+Determinism: one master seed derives, in a fixed documented order, the
+failure-schedule seed, the arrival-jitter seed, the router tie-break seed,
+and the sequence-length seed.  The same master seed therefore replays the
+same chaos run **bit-for-bit** — the report carries a fingerprint over
+every request outcome so replays can be compared exactly, and the report
+prints the seed first so any run can be reproduced from its output alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster, ClusterResult
+from repro.cluster.interconnect import CrossNodeInterconnect
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    Fault,
+    FaultPlan,
+    NetworkPartition,
+    NodeCrash,
+    NodeDegradation,
+)
+from repro.faults.resilience import ReplicaRecoveryConfig
+from repro.hw.devices import TESTBEDS
+from repro.models.specs import MODELS
+from repro.serving.arrival import BurstyProcess
+from repro.serving.workload import general_trace
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos",
+    "check_single_replica_identity",
+]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos scenario: cluster shape, traffic, and failure mix."""
+
+    replicas: int = 3
+    strategy: str = "liger"
+    model: str = "OPT-30B"
+    node: str = "v100"
+    gpus: int = 2
+    #: Scale the model to this many layers (0 keeps the full model).
+    layers: int = 4
+    num_requests: int = 36
+    rate: float = 60.0
+    batch_size: int = 2
+    #: Multiplicative jitter on arrival gaps (satellite: seeded end to end).
+    jitter_frac: float = 0.1
+    #: How many of each node-level fault the schedule draws.
+    crashes: int = 1
+    partitions: int = 0
+    degradations: int = 0
+    #: Master seed; everything stochastic in the run derives from it.
+    seed: int = 0
+    #: Invariant floor on completed/admitted.
+    min_goodput: float = 0.5
+    record_trace: bool = False
+    recovery: Optional[ReplicaRecoveryConfig] = None
+    interconnect: Optional[CrossNodeInterconnect] = None
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigError("replicas must be >= 1")
+        if self.crashes and self.replicas < 2:
+            raise ConfigError(
+                "crash scenarios need >= 2 replicas (node 0 hosts the "
+                "router and is never crashed, so one replica must survive)"
+            )
+        if not 0.0 <= self.min_goodput <= 1.0:
+            raise ConfigError("min_goodput must be in [0, 1]")
+
+
+@dataclass
+class ChaosReport:
+    """Everything needed to judge — and exactly replay — one chaos run."""
+
+    seed: int
+    derived_seeds: dict
+    schedule: List[str]
+    result: ClusterResult
+    #: (invariant name, held?, detail) triples.
+    invariants: List[Tuple[str, bool, str]] = field(default_factory=list)
+    fingerprint: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(held for _, held, _ in self.invariants)
+
+    def describe(self) -> str:
+        """Human-readable report; the seed leads so any run is replayable."""
+        lines = [
+            f"chaos run: seed={self.seed}",
+            "  derived seeds: "
+            + ", ".join(f"{k}={v}" for k, v in self.derived_seeds.items()),
+            "  failure schedule:"
+            if self.schedule
+            else "  failure schedule: (none)",
+        ]
+        for entry in self.schedule:
+            lines.append(f"    {entry}")
+        lines.append(f"  outcome: {self.result.summary()}")
+        lines.append("  invariants:")
+        for name, held, detail in self.invariants:
+            lines.append(f"    [{'PASS' if held else 'FAIL'}] {name}: {detail}")
+        lines.append(f"  fingerprint: {self.fingerprint}")
+        for extra in self.result.resilience.describe().splitlines():
+            lines.append(f"  {extra}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Schedule drawing
+# ----------------------------------------------------------------------
+def _draw_window(
+    rng: random.Random, horizon: float, existing: List[Fault], target_check
+) -> Optional[Tuple[float, float]]:
+    """Draw a fault window inside ~[0.15, 1.2]·horizon avoiding overlaps.
+
+    ``target_check(fault)`` says whether an existing fault shares a target
+    with the one being placed; colliding draws are retried a bounded
+    number of times, then the fault is skipped (the plan would reject the
+    overlap at construction).
+    """
+    for _ in range(64):
+        start = rng.uniform(0.15, 0.9) * horizon
+        duration = rng.uniform(0.1, 0.3) * horizon
+        end = start + duration
+        if not any(
+            target_check(f) and start < f.end and f.start < end
+            for f in existing
+        ):
+            return start, end
+    return None
+
+
+def draw_fault_plan(
+    config: ChaosConfig, schedule_seed: int, horizon: float
+) -> FaultPlan:
+    """Draw the randomized node-failure schedule for one chaos run.
+
+    Crashes and partitions never target node 0 — the router is colocated
+    there, and keeping one guaranteed-healthy replica is what makes the
+    liveness invariant meaningful rather than vacuously shed-everything.
+    """
+    rng = random.Random(schedule_seed)
+    faults: List[Fault] = []
+    for _ in range(config.crashes):
+        node = rng.randrange(1, config.replicas)
+        window = _draw_window(
+            rng, horizon, faults,
+            lambda f, node=node: isinstance(f, NodeCrash) and f.node == node,
+        )
+        if window is not None:
+            faults.append(NodeCrash(start=window[0], end=window[1], node=node))
+    for _ in range(config.partitions):
+        if config.replicas < 2:
+            break
+        node = rng.randrange(1, config.replicas)
+        window = _draw_window(
+            rng, horizon, faults,
+            lambda f, node=node: isinstance(f, NetworkPartition)
+            and f.covers(node),
+        )
+        if window is not None:
+            faults.append(
+                NetworkPartition(start=window[0], end=window[1], nodes=(node,))
+            )
+    for _ in range(config.degradations):
+        node = rng.randrange(0, config.replicas)
+        window = _draw_window(
+            rng, horizon, faults,
+            lambda f, node=node: isinstance(f, NodeDegradation)
+            and f.node == node,
+        )
+        if window is not None:
+            faults.append(
+                NodeDegradation(
+                    start=window[0],
+                    end=window[1],
+                    node=node,
+                    factor=rng.uniform(1.5, 3.0),
+                )
+            )
+    return FaultPlan(faults)
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+def _resolve_specs(config: ChaosConfig):
+    model = MODELS[config.model]
+    if config.layers:
+        model = model.scaled_layers(config.layers)
+    return model, TESTBEDS[config.node](config.gpus)
+
+
+def outcome_fingerprint(result: ClusterResult, batches) -> str:
+    """Bit-exact digest of a run: every request outcome + router counters.
+
+    Deliberately excludes the engine's end time: an attached observability
+    heartbeat adds (outcome-neutral) sampling events that can move it, and
+    the per-request completion instants already pin the timing bit-for-bit.
+    """
+    rows = sorted(
+        (r.rid, r.state.value, repr(r.completion))
+        for b in batches
+        for r in b.requests
+    )
+    blob = json.dumps(
+        {
+            "outcomes": rows,
+            "dispatched": result.dispatched_batches,
+            "failovers": result.resilience.failovers,
+            "shed": result.shed_requests,
+        },
+        separators=(",", ":"),
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def run_chaos(
+    config: ChaosConfig, *, observability=None
+) -> ChaosReport:
+    """Run one seeded chaos scenario and check every invariant.
+
+    The master seed derives the component seeds in this fixed order —
+    ``schedule``, ``jitter``, ``router``, ``seqlen`` — so adding a new
+    consumer later must append to the list, never reorder it, or replay
+    compatibility breaks.
+    """
+    master = random.Random(config.seed)
+    derived = {
+        "schedule": master.randrange(2**32),
+        "jitter": master.randrange(2**32),
+        "router": master.randrange(2**32),
+        "seqlen": master.randrange(2**32),
+    }
+    model, node_spec = _resolve_specs(config)
+    batches = general_trace(
+        config.num_requests,
+        config.rate,
+        config.batch_size,
+        seed=derived["seqlen"],
+        arrival=BurstyProcess(
+            config.rate, jitter_frac=config.jitter_frac, seed=derived["jitter"]
+        ),
+    )
+    horizon = max(b.arrival for b in batches)
+    plan = draw_fault_plan(config, derived["schedule"], horizon)
+    cluster = Cluster(
+        model,
+        node_spec,
+        replicas=config.replicas,
+        strategy=config.strategy,
+        fault_plan=plan,
+        recovery=config.recovery,
+        interconnect=config.interconnect,
+        record_trace=config.record_trace,
+        check_memory=False,
+        observability=observability,
+        seed=derived["router"],
+    )
+    result = cluster.run(batches)
+
+    total = result.num_requests
+    terminal = (
+        result.completed_requests
+        + result.shed_requests
+        + result.timed_out_requests
+    )
+    invariants = [
+        (
+            "all-terminal",
+            terminal == total,
+            f"{terminal}/{total} requests reached a terminal state",
+        ),
+        (
+            "exactly-once",
+            result.router_completed_requests == result.completed_requests,
+            f"gate accepted {result.router_completed_requests} completions "
+            f"for {result.completed_requests} completed requests "
+            f"({result.rejected_completions} duplicate(s) rejected)",
+        ),
+        (
+            "no-unhealthy-dispatch",
+            result.unhealthy_dispatches == 0,
+            f"{result.unhealthy_dispatches} dispatch(es) to unhealthy nodes",
+        ),
+        (
+            "goodput-floor",
+            result.goodput >= config.min_goodput,
+            f"goodput {result.goodput:.1%} vs floor {config.min_goodput:.1%}",
+        ),
+    ]
+    return ChaosReport(
+        seed=config.seed,
+        derived_seeds=derived,
+        schedule=[f.describe() for f in plan.faults],
+        result=result,
+        invariants=invariants,
+        fingerprint=outcome_fingerprint(result, batches),
+    )
+
+
+# ----------------------------------------------------------------------
+# Single-replica bit-identity check (the zero-cost contract, runnable)
+# ----------------------------------------------------------------------
+def _normalized_trace_rows(trace) -> List[tuple]:
+    """Trace rows with batch ids rebased (process-global counter neutral)."""
+    base = min((r.batch_id for r in trace.rows if r.batch_id >= 0), default=0)
+
+    def fix(name: str) -> str:
+        return re.sub(r"_b(\d+)", lambda m: f"_b{int(m.group(1)) - base}", name)
+
+    return [
+        (
+            r.gpu, r.stream, fix(r.name), r.kind.value,
+            r.batch_id - base if r.batch_id >= 0 else r.batch_id,
+            r.layer, r.op, repr(r.ready), repr(r.start), repr(r.end),
+            repr(r.noload_duration),
+        )
+        for r in trace.rows
+    ]
+
+
+def trace_fingerprint(trace) -> str:
+    """sha256 over the normalized kernel timeline."""
+    blob = json.dumps(
+        _normalized_trace_rows(trace), separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def check_single_replica_identity(
+    config: Optional[ChaosConfig] = None,
+) -> Tuple[bool, str, str]:
+    """Assert a 1-replica, fault-free cluster equals the plain server.
+
+    Serves the same workload through a plain
+    :class:`~repro.serving.server.Server` and through a one-replica
+    :class:`Cluster` with an empty fault plan, and compares normalized
+    kernel-timeline fingerprints.  Returns ``(identical, fp_server,
+    fp_cluster)``.
+    """
+    from repro.serving.api import make_strategy
+    from repro.serving.server import Server
+
+    config = config or ChaosConfig()
+    model, node_spec = _resolve_specs(config)
+    workload = lambda: general_trace(  # noqa: E731 - two fresh, equal copies
+        config.num_requests, config.rate, config.batch_size, seed=config.seed
+    )
+
+    server = Server(
+        model,
+        node_spec,
+        make_strategy(config.strategy, model, node_spec),
+        record_trace=True,
+        check_memory=False,
+    )
+    fp_server = trace_fingerprint(server.run(workload()).trace)
+
+    cluster = Cluster(
+        model,
+        node_spec,
+        replicas=1,
+        strategy=config.strategy,
+        record_trace=True,
+        check_memory=False,
+        seed=config.seed,
+    )
+    cluster_result = cluster.run(workload())
+    fp_cluster = trace_fingerprint(cluster_result.traces[0][1])
+    return fp_server == fp_cluster, fp_server, fp_cluster

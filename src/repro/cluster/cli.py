@@ -1,0 +1,157 @@
+"""CLI: ``python -m repro chaos`` — seeded chaos runs against the cluster.
+
+Examples::
+
+    # 3 replicas, one random mid-run crash, seeded schedule:
+    python -m repro chaos --replicas 3 --crashes 1 --seed 7
+
+    # Bit-for-bit replay check (runs the scenario twice, compares
+    # fingerprints) plus the merged Perfetto timeline artifact:
+    python -m repro chaos --verify-replay --timeline chaos_timeline.json
+
+    # The zero-cost contract, runnable: a one-replica cluster must equal
+    # the plain server bit-for-bit:
+    python -m repro chaos --check-identity
+
+Exit status is non-zero when an invariant fails, a replay diverges, or
+the identity check finds a difference — which is what the CI job keys on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.cli import install_log_handler, workload_parent
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Chaos-test a replicated serving cluster.",
+        parents=[
+            workload_parent(
+                model_default="OPT-30B",
+                rate_default=60.0,
+                requests_default=36,
+                batch_default=2,
+                seed_default=0,
+            )
+        ],
+    )
+    cluster = parser.add_argument_group("cluster")
+    cluster.add_argument("--replicas", type=int, default=3,
+                         help="replicated serving nodes (default 3)")
+    cluster.add_argument("--layers", type=int, default=4, metavar="N",
+                         help="scale the model to N layers (0 = full model)")
+    faults = parser.add_argument_group("failure schedule")
+    faults.add_argument("--crashes", type=int, default=1,
+                        help="node crashes to draw (default 1)")
+    faults.add_argument("--partitions", type=int, default=0,
+                        help="network partitions to draw")
+    faults.add_argument("--degradations", type=int, default=0,
+                        help="whole-node stragglers to draw")
+    checks = parser.add_argument_group("invariants and artifacts")
+    checks.add_argument("--min-goodput", type=float, default=0.5,
+                        help="completed/admitted floor (default 0.5)")
+    checks.add_argument("--verify-replay", action="store_true",
+                        help="run the scenario twice and require "
+                             "bit-identical fingerprints")
+    checks.add_argument("--check-identity", action="store_true",
+                        help="check the 1-replica cluster reproduces the "
+                             "plain server bit-for-bit, then exit")
+    checks.add_argument("--timeline", metavar="PATH", default=None,
+                        help="write the merged Perfetto timeline JSON")
+    checks.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write the Prometheus text exposition")
+    parser.add_argument("--log-level", default=None,
+                        help="stderr logging for repro.* (e.g. INFO)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro chaos``; returns the exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    install_log_handler(args.log_level, parser)
+
+    from repro.cluster.chaos import (
+        ChaosConfig,
+        check_single_replica_identity,
+        run_chaos,
+    )
+
+    config = ChaosConfig(
+        replicas=args.replicas,
+        strategy=args.strategy,
+        model=args.model,
+        node=args.node,
+        gpus=args.gpus,
+        layers=args.layers,
+        num_requests=args.requests,
+        rate=args.rate,
+        batch_size=args.batch,
+        crashes=args.crashes,
+        partitions=args.partitions,
+        degradations=args.degradations,
+        seed=args.seed,
+        min_goodput=args.min_goodput,
+        record_trace=args.timeline is not None,
+    )
+
+    if args.check_identity:
+        identical, fp_server, fp_cluster = check_single_replica_identity(
+            dataclasses.replace(
+                config, replicas=1, crashes=0, partitions=0, degradations=0
+            )
+        )
+        print(f"server  fingerprint: {fp_server}")
+        print(f"cluster fingerprint: {fp_cluster}")
+        print(
+            "single-replica identity: "
+            + ("bit-identical" if identical else "DIVERGED")
+        )
+        return 0 if identical else 1
+
+    observability = None
+    if args.timeline is not None or args.metrics is not None:
+        from repro.obs.observability import Observability
+
+        observability = Observability()
+
+    report = run_chaos(config, observability=observability)
+    print(report.describe())
+
+    status = 0 if report.ok else 1
+    if args.verify_replay:
+        replay = run_chaos(config)
+        identical = replay.fingerprint == report.fingerprint
+        print(
+            f"replay (seed={config.seed}): "
+            + ("bit-identical" if identical else "DIVERGED")
+        )
+        if not identical:
+            status = 1
+
+    if observability is not None:
+        if args.metrics is not None:
+            observability.save_prometheus(args.metrics)
+            print(f"wrote metrics to {args.metrics}")
+        if args.timeline is not None:
+            counts = observability.save_merged_trace(
+                args.timeline, traces=report.result.traces
+            )
+            print(
+                f"wrote merged timeline to {args.timeline} "
+                f"({counts['kernel']} kernels, {counts['span']} span rows, "
+                f"{counts['instant']} instants)"
+            )
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m repro
+    sys.exit(main())

@@ -1,0 +1,264 @@
+"""The replicated cluster: N serving nodes, one clock, one router.
+
+A :class:`Cluster` builds N full serving replicas (see
+:mod:`repro.cluster.node`) on **one shared**
+:class:`~repro.sim.engine.Engine` — the whole cluster advances on a single
+simulated clock — and fronts them with the health-checked
+:class:`~repro.cluster.router.Router`.  Node-level faults come from the
+same declarative :class:`~repro.faults.plan.FaultPlan` machinery as the
+single-node faults: :class:`~repro.faults.plan.NodeCrash` halts a
+machine, :class:`~repro.faults.plan.NetworkPartition` makes probes fail
+while the node keeps executing, and
+:class:`~repro.faults.plan.NodeDegradation` throttles every GPU of one
+node (translated to per-GPU stragglers on each incarnation).
+
+Zero-cost convention, cluster edition: a one-replica cluster with an
+empty fault plan produces the **bit-identical** kernel timeline of a
+plain :class:`~repro.serving.server.Server` run — no health sweeps, no
+RNG draws, no cross-node transfers, the same arrival events in the same
+order.  The golden-trace tests pin this.
+
+Determinism: every stochastic choice (router tie-breaks) draws from one
+seeded ``random.Random`` owned by the run, so the same seed replays the
+same cluster history bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from repro.cluster.interconnect import CrossNodeInterconnect
+from repro.cluster.node import ClusterNode
+from repro.cluster.router import Router
+from repro.errors import ConfigError, DeadlockError
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import (
+    ClusterResilienceReport,
+    ReplicaRecovery,
+    ReplicaRecoveryConfig,
+)
+from repro.serving.request import Batch, RequestState
+from repro.sim.engine import Engine
+
+__all__ = ["Cluster", "ClusterResult"]
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one replicated serving run."""
+
+    num_nodes: int
+    strategy: str
+    num_requests: int
+    completed_requests: int
+    shed_requests: int
+    timed_out_requests: int
+    #: Batches the router dispatched (initial dispatches, not failovers).
+    dispatched_batches: int
+    #: Completions rejected by the ownership gate (duplicated work).
+    rejected_completions: int
+    #: Requests the router's gate accepted as completed; must equal
+    #: ``completed_requests`` (counted from request states) — a mismatch
+    #: means a completion bypassed the exactly-once gate.
+    router_completed_requests: int
+    #: Router dispatches to unhealthy nodes — an invariant breach if != 0.
+    unhealthy_dispatches: int
+    resilience: ClusterResilienceReport
+    #: Mean latency over completed requests (ms); 0 when none completed.
+    avg_latency_ms: float
+    #: Simulated end-to-end makespan (µs).
+    makespan_us: float
+    wall_events: int
+    #: Labelled per-replica kernel timelines (one per traced incarnation).
+    traces: List[Tuple[str, object]] = field(default_factory=list)
+    observability: Optional[object] = None
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of admitted requests that completed."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.completed_requests / self.num_requests
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"cluster[{self.num_nodes}x {self.strategy}]: "
+            f"{self.completed_requests}/{self.num_requests} completed "
+            f"({self.goodput:.1%} goodput), {self.shed_requests} shed, "
+            f"{self.resilience.failovers} failover(s), "
+            f"avg latency {self.avg_latency_ms:.1f} ms"
+        )
+
+
+class Cluster:
+    """N replicated serving nodes behind a health-checked router."""
+
+    def __init__(
+        self,
+        model,
+        node_spec,
+        *,
+        replicas: int = 1,
+        strategy: str = "liger",
+        fault_plan: Optional[FaultPlan] = None,
+        recovery: Optional[ReplicaRecoveryConfig] = None,
+        interconnect: Optional[CrossNodeInterconnect] = None,
+        record_trace: bool = False,
+        check_memory: bool = True,
+        contention=None,
+        observability=None,
+        seed: int = 0,
+        affinity: Optional[Callable[[Batch], Hashable]] = None,
+        strategy_kwargs: Optional[dict] = None,
+    ) -> None:
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
+        self.plan = fault_plan or FaultPlan()
+        for fault in self.plan.crashes + self.plan.degradations:
+            if fault.node >= replicas:
+                raise ConfigError(
+                    f"{fault.describe()} targets node {fault.node} but the "
+                    f"cluster has {replicas} replica(s) (0..{replicas - 1})"
+                )
+        for partition in self.plan.partitions:
+            for n in partition.nodes:
+                if n >= replicas:
+                    raise ConfigError(
+                        f"{partition.describe()} targets node {n} but the "
+                        f"cluster has {replicas} replica(s)"
+                    )
+        self.model = model
+        self.node_spec = node_spec
+        self.strategy = strategy
+        self.engine = Engine()
+        self.rng = random.Random(seed)
+        self.obs = observability
+        self.bus = observability.bus if observability is not None else None
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(
+                i,
+                model,
+                node_spec,
+                strategy,
+                engine=self.engine,
+                completion_gate=self._accept_completion,
+                degradations=[
+                    d for d in self.plan.degradations if d.node == i
+                ],
+                record_trace=record_trace,
+                check_memory=check_memory,
+                contention=contention,
+                observability=observability,
+                strategy_kwargs=strategy_kwargs,
+            )
+            for i in range(replicas)
+        ]
+        self.recovery = ReplicaRecovery(replicas, recovery)
+        self.router = Router(
+            self.nodes,
+            fault_plan=self.plan,
+            recovery=self.recovery,
+            interconnect=interconnect,
+            rng=self.rng,
+            bus=self.bus,
+            affinity=affinity,
+        )
+        if self.obs is not None:
+            self.obs.note_fault_plan(self.plan)
+            self._register_gauges()
+
+    # ------------------------------------------------------------------
+    def _accept_completion(self, node_index: int, batch: Batch, time: float) -> bool:
+        return self.router.accept_completion(node_index, batch, time)
+
+    def _register_gauges(self) -> None:
+        obs = self.obs
+        obs.register_gauge(
+            "repro_cluster_healthy_replicas",
+            "Replicas the router currently considers dispatchable.",
+            lambda: float(self.recovery.healthy_count),
+        )
+        for i in range(len(self.nodes)):
+            obs.register_gauge(
+                f"repro_cluster_node{i}_inflight_requests",
+                f"Requests the router attributes to replica {i}.",
+                lambda i=i: float(self.router.node_inflight_requests(i)),
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, batches: Sequence[Batch]) -> ClusterResult:
+        """Serve ``batches`` across the replicas and return the outcome."""
+        if not batches:
+            raise ConfigError("no batches to serve")
+        ordered = sorted(batches, key=lambda b: b.arrival)
+        last_arrival = ordered[-1].arrival
+        self.router.watch_until = last_arrival
+
+        # Crash windows become explicit engine events; partitions need none
+        # (the health probe consults the plan), and degradations were armed
+        # on each node's injector at construction.
+        for crash in self.plan.crashes:
+            node = self.nodes[crash.node]
+            self.engine.schedule_at(crash.start, node.crash, priority=3)
+            if crash.end != float("inf"):
+                self.engine.schedule_at(crash.end, node.recover, priority=3)
+
+        self.router.arm()
+        for batch in ordered:
+            self.engine.schedule_at(
+                batch.arrival,
+                lambda b=batch: self.router.dispatch(b),
+                priority=10,  # arrivals fire after same-time device events
+            )
+        end = self.engine.run()
+
+        # Cluster-level drain check: every admitted request must be
+        # terminal.  The per-request exactly-once property is enforced by
+        # the Request state machine itself (terminal transitions raise).
+        requests = [r for b in ordered for r in b.requests]
+        completed = sum(
+            1 for r in requests if r.state is RequestState.COMPLETED
+        )
+        shed = sum(1 for r in requests if r.state is RequestState.SHED)
+        timed_out = sum(
+            1 for r in requests if r.state is RequestState.TIMED_OUT
+        )
+        if completed + shed + timed_out != len(requests):
+            open_ids = self.router.open_batch_ids()
+            raise DeadlockError(
+                f"cluster resolved {completed + shed + timed_out} of "
+                f"{len(requests)} requests — batches never terminal: "
+                f"{open_ids if open_ids else 'none open (lost)'}"
+            )
+
+        latencies = [
+            r.completion - r.arrival
+            for r in requests
+            if r.state is RequestState.COMPLETED
+        ]
+        traces: List[Tuple[str, object]] = []
+        for node in self.nodes:
+            traces.extend(node.traces)
+        return ClusterResult(
+            num_nodes=len(self.nodes),
+            strategy=self.strategy,
+            num_requests=len(requests),
+            completed_requests=completed,
+            shed_requests=shed,
+            timed_out_requests=timed_out,
+            dispatched_batches=self.router.dispatched_batches,
+            rejected_completions=self.router.rejected_completions,
+            router_completed_requests=self.router.completed_requests,
+            unhealthy_dispatches=self.router.unhealthy_dispatches,
+            resilience=self.recovery.report,
+            avg_latency_ms=(
+                sum(latencies) / len(latencies) / 1e3 if latencies else 0.0
+            ),
+            makespan_us=end,
+            wall_events=self.engine.events_processed,
+            traces=traces,
+            observability=self.obs,
+        )

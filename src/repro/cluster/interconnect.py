@@ -1,0 +1,84 @@
+"""Cross-node interconnect: pricing the network between cluster nodes.
+
+Intra-node communication is priced by the NVLink/PCIe alpha-beta model in
+:mod:`repro.sim.interconnect`.  Between *nodes* the router moves request
+payloads (dispatch and failover re-dispatch), and that network is a
+different beast: commodity Ethernet/InfiniBand with per-message latencies
+two orders of magnitude above an NVLink hop and bandwidth an order below
+the all-reduce bus.  Following the communication-characterization
+treatment (alpha-beta with an explicit per-message software overhead —
+the dominant term for the small control-plane payloads a router moves),
+the cost of shipping ``S`` bytes carrying ``n`` requests is::
+
+    alpha + n * per_request_us + S / bandwidth
+
+Defaults model a 100 GbE datacenter fabric: 25 µs base latency (kernel
+bypass is not assumed), 12.5 GB/s line rate, and ~1 µs of serialization
+per request.  The router charges this cost only on *cross*-node sends; a
+dispatch to the router's own colocated node is free, which is what makes
+the one-replica cluster bit-identical to a plain server run (the
+zero-cost convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["CrossNodeInterconnect", "batch_payload_bytes"]
+
+#: Wire bytes per request beyond its token payload: framing, routing
+#: metadata, sampling parameters.
+_REQUEST_HEADER_BYTES = 256
+#: Bytes per prompt token on the wire (int32 token ids).
+_BYTES_PER_TOKEN = 4
+
+
+def batch_payload_bytes(batch) -> int:
+    """Wire size of one batch: token ids plus a fixed header per request."""
+    return sum(
+        r.seq_len * _BYTES_PER_TOKEN + _REQUEST_HEADER_BYTES
+        for r in batch.requests
+    )
+
+
+@dataclass(frozen=True)
+class CrossNodeInterconnect:
+    """Alpha-beta cost model for the network between cluster nodes."""
+
+    #: Per-message base latency (µs): NIC traversal, switching, the
+    #: receive-side wakeup.
+    latency_us: float = 25.0
+    #: Line-rate bandwidth in GB/s (12.5 GB/s = 100 GbE).
+    bandwidth_gbps: float = 12.5
+    #: Per-request serialization/deserialization overhead (µs).
+    per_request_us: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_us < 0:
+            raise ConfigError(f"latency_us must be >= 0, got {self.latency_us}")
+        if self.bandwidth_gbps <= 0:
+            raise ConfigError(
+                f"bandwidth_gbps must be > 0, got {self.bandwidth_gbps}"
+            )
+        if self.per_request_us < 0:
+            raise ConfigError(
+                f"per_request_us must be >= 0, got {self.per_request_us}"
+            )
+
+    def transfer_us(self, nbytes: float, num_requests: int = 1) -> float:
+        """Time (µs) to move ``nbytes`` carrying ``num_requests`` requests."""
+        if nbytes < 0:
+            raise ConfigError(f"transfer size must be >= 0, got {nbytes}")
+        if num_requests < 0:
+            raise ConfigError("num_requests must be >= 0")
+        return (
+            self.latency_us
+            + num_requests * self.per_request_us
+            + nbytes / (self.bandwidth_gbps * 1e9) * 1e6
+        )
+
+    def batch_transfer_us(self, batch) -> float:
+        """Cost of shipping one batch between nodes."""
+        return self.transfer_us(batch_payload_bytes(batch), batch.size)

@@ -1,0 +1,178 @@
+"""One cluster node: a full serving replica with crash/recover semantics.
+
+A :class:`ClusterNode` wraps a complete single-node serving stack — model
+replica, :class:`~repro.sim.gpu.Machine`, strategy, and a
+:class:`~repro.serving.server.Server` — built on the cluster's *shared*
+engine so every replica advances on one simulated clock.  On top of the
+plain server it adds the whole-node fault surface:
+
+* :meth:`crash` halts the machine (in-flight kernels never finish, later
+  submissions are dropped) and marks the node dead;
+* :meth:`recover` builds a **fresh incarnation** — new machine, new
+  strategy, new server — because a rebooted node keeps no device state;
+* node-level :class:`~repro.faults.plan.NodeDegradation` windows are
+  translated into per-GPU stragglers and armed on every incarnation, so a
+  degraded node stays degraded across a reboot that lands inside the
+  window.
+
+Completions flow through a *gate* before they count: the router owns each
+batch and confirms this node is still the batch's owner, which keeps
+requests exactly-once even when failover duplicates work onto two nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, GpuStraggler, NodeDegradation
+from repro.serving.api import make_strategy
+from repro.serving.request import Batch
+from repro.serving.server import Server
+
+__all__ = ["ClusterNode"]
+
+
+class _ReplicaServer(Server):
+    """A :class:`Server` whose completions are gated by the router.
+
+    ``completion_gate(node_index, batch, time)`` returns whether this node
+    still owns the batch; a rejected completion (the batch completed or was
+    shed elsewhere first) only flows the pipeline bookkeeping — no request
+    transitions, no metrics, no events.
+    """
+
+    def __init__(
+        self,
+        *args,
+        node_index: int,
+        completion_gate: Optional[Callable[[int, Batch, float], bool]],
+        **kwargs,
+    ) -> None:
+        self._node_index = node_index
+        self._completion_gate = completion_gate
+        super().__init__(*args, **kwargs)
+
+    def _on_batch_complete(self, batch: Batch, time: float) -> None:
+        gate = self._completion_gate
+        if gate is not None and not gate(self._node_index, batch, time):
+            self.session.notify_complete(batch, time)
+            return
+        super()._on_batch_complete(batch, time)
+
+
+class ClusterNode:
+    """One replica slot in the cluster: index, liveness, and incarnations."""
+
+    def __init__(
+        self,
+        index: int,
+        model,
+        node_spec,
+        strategy_name: str,
+        *,
+        engine,
+        completion_gate: Optional[Callable[[int, Batch, float], bool]] = None,
+        degradations: Sequence[NodeDegradation] = (),
+        record_trace: bool = False,
+        check_memory: bool = True,
+        contention=None,
+        observability=None,
+        strategy_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.index = index
+        self.model = model
+        self.node_spec = node_spec
+        self.strategy_name = strategy_name
+        self.engine = engine
+        self.alive = True
+        #: Bumped on every :meth:`recover`; the router keys batch ownership
+        #: on ``(index, incarnation)`` so a reborn node is a new host.
+        self.incarnation = 0
+        self._completion_gate = completion_gate
+        self._degradations = list(degradations)
+        self._record_trace = record_trace
+        self._check_memory = check_memory
+        self._contention = contention
+        self._observability = observability
+        self._strategy_kwargs = strategy_kwargs or {}
+        #: Labelled kernel timelines, one per incarnation that recorded one.
+        self.traces: List[Tuple[str, object]] = []
+        self.server: _ReplicaServer = None  # type: ignore[assignment]
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        """Construct this incarnation's serving stack on the shared engine."""
+        strategy = make_strategy(
+            self.strategy_name,
+            self.model,
+            self.node_spec,
+            **self._strategy_kwargs,
+        )
+        self.server = _ReplicaServer(
+            self.model,
+            self.node_spec,
+            strategy,
+            node_index=self.index,
+            completion_gate=self._completion_gate,
+            engine=self.engine,
+            record_trace=self._record_trace,
+            check_memory=self._check_memory,
+            contention=self._contention,
+            observability=self._observability,
+        )
+        if self.server.trace is not None:
+            label = (
+                f"node{self.index}"
+                if self.incarnation == 0
+                else f"node{self.index}r{self.incarnation}"
+            )
+            self.traces.append((label, self.server.trace))
+        if self._degradations:
+            # A whole-node straggler is every GPU throttled by the same
+            # factor; the translated plan is overlap-free because the
+            # cluster plan already rejected overlapping same-node windows.
+            stragglers = [
+                GpuStraggler(start=d.start, end=d.end, gpu=g, factor=d.factor)
+                for d in self._degradations
+                for g in range(len(self.server.machine.gpus))
+            ]
+            FaultInjector(FaultPlan(stragglers)).arm(self.server.machine)
+        # Arms recovery/overload/observability for this incarnation; with
+        # none configured (and obs arming idempotent) this is nearly free.
+        self.server.session.arm()
+
+    # ------------------------------------------------------------------
+    def submit(self, batch: Batch) -> None:
+        """Hand one batch to this replica's serving pipeline."""
+        self.server._on_arrival(batch)
+
+    def inflight_kernels(self) -> int:
+        """Resident kernels across the replica's GPUs (liveness probe aid)."""
+        return sum(len(g.resident) for g in self.server.machine.gpus)
+
+    # ------------------------------------------------------------------
+    # Whole-node faults
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Kill the node: halt the machine and mark it dead (idempotent)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.server.machine.halt()
+
+    def recover(self) -> None:
+        """Reboot into a fresh incarnation (no-op when already alive)."""
+        if self.alive:
+            return
+        self.incarnation += 1
+        self._build()
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return (
+            f"ClusterNode({self.index}, {state}, "
+            f"incarnation={self.incarnation})"
+        )

@@ -36,6 +36,8 @@ __all__ = [
     "StrategyDowngraded",
     "StrategyUpgraded",
     "Principle1Violation",
+    "NodeHealthChanged",
+    "RequestsFailedOver",
     "EventBus",
 ]
 
@@ -275,6 +277,33 @@ class Principle1Violation(Event):
     kind: ClassVar[str] = "principle1-violation"
     round_index: int = -1
     overshoot_us: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Cluster: replica health and failover
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodeHealthChanged(Event):
+    """The router flipped a replica's health state."""
+
+    kind: ClassVar[str] = "node-health"
+    node: int = -1
+    healthy: bool = True
+    #: What the probe saw: ``"crashed"``, ``"partitioned"``, ``"probe ok"``.
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class RequestsFailedOver(Event):
+    """In-flight requests re-dispatched from a failed replica to another."""
+
+    kind: ClassVar[str] = "failover"
+    batch_id: int = -1
+    rids: Tuple[int, ...] = ()
+    from_node: int = -1
+    to_node: int = -1
+    #: Which re-dispatch this is for the batch (1 = first failover).
+    attempt: int = 0
 
 
 # ----------------------------------------------------------------------

@@ -32,8 +32,10 @@ from repro.obs.events import (
     BreakerOpened,
     Event,
     EventBus,
+    NodeHealthChanged,
     Principle1Violation,
     RequestsAdmitted,
+    RequestsFailedOver,
     RequestsShed,
     RequestsTimedOut,
     RetryScheduled,
@@ -303,6 +305,14 @@ class MetricsRegistry:
             "repro_principle1_violations_total",
             "Executed rounds whose secondary subset outlived its window.",
         )
+        self.counter(
+            "repro_failovers_total",
+            "Batches re-dispatched from a failed replica to another.",
+        )
+        self.counter(
+            "repro_node_health_transitions_total",
+            "Router health-state flips, by resulting state.",
+        )
         self.histogram(
             "repro_request_latency_ms",
             "Arrival-to-completion latency of completed requests (ms).",
@@ -360,6 +370,12 @@ class MetricsRegistry:
             c["repro_strategy_changes_total"].inc(1, kind="upgrade")
         elif isinstance(event, Principle1Violation):
             c["repro_principle1_violations_total"].inc(1)
+        elif isinstance(event, RequestsFailedOver):
+            c["repro_failovers_total"].inc(1)
+        elif isinstance(event, NodeHealthChanged):
+            c["repro_node_health_transitions_total"].inc(
+                1, healthy=str(event.healthy).lower()
+            )
 
     # ------------------------------------------------------------------
     # Sampling (driven by the observability heartbeat)

@@ -146,18 +146,23 @@ class Observability:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.json_snapshot(), fh, indent=2)
 
-    def merged_chrome_trace(self, trace=None) -> dict:
-        """The merged timeline: request spans + kernel slices + instants."""
+    def merged_chrome_trace(self, trace=None, *, traces=()) -> dict:
+        """The merged timeline: request spans + kernel slices + instants.
+
+        ``traces`` takes labelled ``(label, Trace)`` pairs — the cluster's
+        per-replica timelines — rendered with ``pid`` ``"<label>:gpuN"``.
+        """
         return merged_chrome_trace(
             spans=self.spans(),
             events=self.bus.events,
             trace=trace,
+            traces=traces,
             fault_windows=self._fault_windows,
         )
 
-    def save_merged_trace(self, path: str, trace=None) -> dict:
+    def save_merged_trace(self, path: str, trace=None, *, traces=()) -> dict:
         """Write the merged trace JSON; returns the per-class event counts."""
-        obj = self.merged_chrome_trace(trace=trace)
+        obj = self.merged_chrome_trace(trace=trace, traces=traces)
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(obj, fh)
         return validate_merged_trace(obj)

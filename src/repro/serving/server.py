@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # avoid a circular import; the server only type-hints it
     from repro.faults.plan import FaultPlan
     from repro.faults.resilience import ResilienceConfig
     from repro.parallel.base import ParallelStrategy
+    from repro.sim.engine import Engine
 
 __all__ = ["Server", "ServingResult"]
 
@@ -84,6 +85,7 @@ class Server:
         resilience: Optional["ResilienceConfig"] = None,
         overload: Optional[OverloadConfig] = None,
         observability: Optional[Observability] = None,
+        engine: Optional["Engine"] = None,
     ) -> None:
         config = ServingConfig.resolve(
             config,
@@ -104,6 +106,7 @@ class Server:
             use_overload_controller=True,
             announce_arrivals=True,
             recovery_uses_metrics=True,
+            engine=engine,
         )
         s = self.session
         self.model = model

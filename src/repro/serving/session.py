@@ -401,6 +401,11 @@ class ServingSession:
         :class:`~repro.serving.metrics.ServingMetrics` directly.  Servers
         whose requests outlive individual batches keep this off and do
         their own terminal bookkeeping in ``shed_callback``.
+    engine:
+        Share an externally owned :class:`~repro.sim.engine.Engine` instead
+        of creating a private one.  The cluster layer passes a single engine
+        to every replica so all nodes advance on one simulated clock; the
+        caller then owns ``engine.run()``.
     """
 
     def __init__(
@@ -418,6 +423,7 @@ class ServingSession:
         announce_arrivals: bool = False,
         track_first_dispatch: bool = False,
         recovery_uses_metrics: bool = False,
+        engine: Optional[Engine] = None,
     ) -> None:
         if strategy.model is not model or strategy.node is not node:
             raise ConfigError("strategy was built for a different model/node")
@@ -427,7 +433,7 @@ class ServingSession:
         self.node = node
         self.strategy = strategy
         self.config = config
-        self.engine = Engine()
+        self.engine = engine if engine is not None else Engine()
         self.trace = Trace() if config.record_trace else None
         self.machine = Machine(
             node,

@@ -1,0 +1,356 @@
+"""Replicated cluster: zero-cost identity, failover, and recovery.
+
+The two load-bearing contracts:
+
+* **Zero-cost** — a one-replica cluster with an empty fault plan
+  reproduces the plain server's golden kernel timeline **bit-for-bit**
+  (same fingerprint as ``tests/golden/serving_traces.json``).  The
+  cluster tier may cost nothing when it is not used.
+* **Exactly-once under failover** — crashes re-dispatch in-flight work,
+  partitions drain in place, and the router's completion-ownership gate
+  ensures duplicated work never double-completes a request.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    CrossNodeInterconnect,
+    Router,
+    batch_payload_bytes,
+)
+from repro.cluster.node import ClusterNode
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    FaultPlan,
+    NetworkPartition,
+    NodeCrash,
+    NodeDegradation,
+)
+from repro.faults.resilience import ReplicaRecovery, ReplicaRecoveryConfig
+from repro.hw import v100_nvlink_node
+from repro.models import OPT_30B
+from repro.serving.workload import general_trace
+from serving_goldens import GOLDEN_PATH, fingerprint, reset_batch_ids
+
+SMALL_MODEL = OPT_30B.scaled_layers(2)
+SMALL_NODE = v100_nvlink_node(2)
+
+
+def small_cluster(replicas, plan=None, **kwargs):
+    kwargs.setdefault("strategy", "intra")
+    kwargs.setdefault("check_memory", False)
+    return Cluster(
+        SMALL_MODEL, SMALL_NODE, replicas=replicas, fault_plan=plan, **kwargs
+    )
+
+
+def run_small(cluster, num_requests=12, rate=200.0, seed=0):
+    return cluster.run(general_trace(num_requests, rate, 2, seed=seed))
+
+
+# ----------------------------------------------------------------------
+# Zero-cost: the cluster tier may not perturb a fault-free replica
+# ----------------------------------------------------------------------
+class TestZeroCost:
+    def test_one_replica_matches_server_golden(self):
+        # The committed golden was captured from the *plain* Server; a
+        # one-replica fault-free cluster must reproduce it bit-for-bit.
+        with open(GOLDEN_PATH, encoding="utf-8") as fh:
+            golden = json.load(fh)["server/liger"]
+        reset_batch_ids()
+        cluster = Cluster(
+            OPT_30B.scaled_layers(4),
+            v100_nvlink_node(4),
+            replicas=1,
+            strategy="liger",
+            record_trace=True,
+            check_memory=False,
+        )
+        result = cluster.run(general_trace(12, 40.0, 2, seed=0))
+        assert result.completed_requests == 12
+        label, trace = result.traces[0]
+        assert label == "node0"
+        assert fingerprint(trace) == golden
+
+    def test_fault_free_cluster_consumes_no_randomness(self):
+        # Single candidate → no rng.choice; no node faults → no sweeps.
+        # The run must leave the seeded RNG untouched.
+        cluster = small_cluster(1, record_trace=False)
+        state_before = cluster.rng.getstate()
+        result = run_small(cluster)
+        assert result.completed_requests == 12
+        assert cluster.rng.getstate() == state_before
+        # No health sweeps fired: the recovery log stays empty.
+        assert result.resilience.actions == []
+
+
+# ----------------------------------------------------------------------
+# Construction validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_replicas_floor(self):
+        with pytest.raises(ConfigError, match="replicas"):
+            small_cluster(0)
+
+    def test_fault_targets_must_exist(self):
+        plan = FaultPlan([NodeCrash(start=0.0, end=1.0, node=5)])
+        with pytest.raises(ConfigError, match="node 5"):
+            small_cluster(2, plan)
+        plan = FaultPlan([NetworkPartition(start=0.0, end=1.0, nodes=(3,))])
+        with pytest.raises(ConfigError, match="node 3"):
+            small_cluster(2, plan)
+        plan = FaultPlan(
+            [NodeDegradation(start=0.0, end=1.0, node=2, factor=2.0)]
+        )
+        with pytest.raises(ConfigError, match="node 2"):
+            small_cluster(2, plan)
+
+    def test_router_checks_recovery_size(self):
+        cluster = small_cluster(2)
+        with pytest.raises(ConfigError, match="replicas"):
+            Router(cluster.nodes, recovery=ReplicaRecovery(3))
+
+
+# ----------------------------------------------------------------------
+# Crash → failover
+# ----------------------------------------------------------------------
+class TestCrashFailover:
+    def test_crash_fails_over_inflight_work(self):
+        # Crash node 1 over a window that is guaranteed to hold in-flight
+        # work (a burst of arrivals lands before the crash).  Every
+        # request must still reach a terminal state, and the batches that
+        # were on node 1 must complete elsewhere.
+        plan = FaultPlan([NodeCrash(start=8_000.0, end=500_000.0, node=1)])
+        cluster = small_cluster(
+            2, plan,
+            recovery=ReplicaRecoveryConfig(health_check_period_us=1_000.0),
+        )
+        result = run_small(cluster, num_requests=16, rate=2_000.0)
+        assert result.completed_requests + result.shed_requests == 16
+        assert result.unhealthy_dispatches == 0
+        assert result.router_completed_requests == result.completed_requests
+        # Node 1 held work when it died: the report shows the failovers.
+        assert result.resilience.failovers >= 1
+        assert result.resilience.unhealthy_marks >= 1
+
+    def test_failover_budget_exhaustion_sheds(self):
+        # With a zero failover budget the crashed node's work cannot be
+        # re-dispatched — it must be shed terminally, not lost.
+        plan = FaultPlan([NodeCrash(start=8_000.0, end=500_000.0, node=1)])
+        cluster = small_cluster(
+            2, plan,
+            recovery=ReplicaRecoveryConfig(
+                max_failovers=0, health_check_period_us=1_000.0
+            ),
+        )
+        result = run_small(cluster, num_requests=16, rate=2_000.0)
+        assert result.completed_requests + result.shed_requests == 16
+        assert result.shed_requests >= 1
+        assert result.resilience.failovers == 0
+        assert result.resilience.failover_shed_requests >= 1
+
+    def test_all_replicas_down_sheds_arrivals(self):
+        # Both replicas dead across the whole arrival window: nothing can
+        # be dispatched, so everything sheds — liveness over completeness.
+        plan = FaultPlan(
+            [
+                NodeCrash(start=1_000.0, end=5_000_000.0, node=0),
+                NodeCrash(start=1_000.0, end=5_000_000.0, node=1),
+            ]
+        )
+        cluster = small_cluster(2, plan)
+        result = cluster.run(general_trace(8, 100.0, 2, seed=0))
+        assert result.completed_requests + result.shed_requests == 8
+        assert result.shed_requests >= 1
+        assert result.unhealthy_dispatches == 0
+
+    def test_recovered_node_is_readmitted(self):
+        # Crash ends mid-run; with traffic still arriving the sweep keeps
+        # probing and the reborn incarnation is re-admitted.
+        plan = FaultPlan([NodeCrash(start=10_000.0, end=30_000.0, node=1)])
+        cluster = small_cluster(2, plan)
+        result = run_small(cluster, num_requests=24, rate=150.0)
+        assert result.completed_requests + result.shed_requests == 24
+        assert result.resilience.readmissions >= 1
+        assert cluster.nodes[1].alive
+        assert cluster.nodes[1].incarnation == 1
+
+
+# ----------------------------------------------------------------------
+# Partition → drain in place (default) or failover (opt-in)
+# ----------------------------------------------------------------------
+class TestPartition:
+    PLAN = FaultPlan(
+        [NetworkPartition(start=8_000.0, end=120_000.0, nodes=(1,))]
+    )
+
+    def test_partitioned_node_drains_in_place(self):
+        # The node keeps executing; its completions pass the gate, so no
+        # work is lost and nothing needs to move.
+        cluster = small_cluster(2, self.PLAN)
+        result = run_small(cluster, num_requests=16, rate=2_000.0)
+        assert result.completed_requests == 16
+        assert result.resilience.failovers == 0
+        assert result.resilience.unhealthy_marks >= 1
+        assert result.rejected_completions == 0
+
+    def test_failover_on_unreachable_duplicates_then_gates(self):
+        # Opting into failover for unreachable nodes duplicates the work:
+        # the partitioned host keeps executing its copy while the new
+        # owner runs another.  The gate must reject the loser — requests
+        # stay exactly-once (completed counts match the gate's).
+        cluster = small_cluster(
+            2,
+            self.PLAN,
+            recovery=ReplicaRecoveryConfig(
+                failover_on_unreachable=True, health_check_period_us=1_000.0
+            ),
+        )
+        result = run_small(cluster, num_requests=16, rate=2_000.0)
+        assert result.completed_requests + result.shed_requests == 16
+        assert result.resilience.failovers >= 1
+        assert result.rejected_completions >= 1
+        assert result.router_completed_requests == result.completed_requests
+
+
+# ----------------------------------------------------------------------
+# Degradation
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_degraded_node_finishes_but_slower(self):
+        batches = list(general_trace(12, 500.0, 2, seed=0))
+        baseline = run_small(small_cluster(1), num_requests=12, rate=500.0)
+        plan = FaultPlan(
+            [NodeDegradation(start=0.0, end=1e9, node=0, factor=4.0)]
+        )
+        degraded = small_cluster(1, plan).run(batches)
+        assert degraded.completed_requests == 12
+        assert degraded.makespan_us > baseline.makespan_us
+
+    def test_degradation_survives_reboot(self):
+        # A crash inside a degradation window reboots the node; the new
+        # incarnation must re-arm the (still open) straggler window.
+        plan = FaultPlan(
+            [
+                NodeCrash(start=10_000.0, end=20_000.0, node=1),
+                NodeDegradation(start=0.0, end=1e9, node=1, factor=3.0),
+            ]
+        )
+        cluster = small_cluster(2, plan)
+        result = run_small(cluster, num_requests=24, rate=150.0)
+        assert result.completed_requests + result.shed_requests == 24
+        assert cluster.nodes[1].incarnation == 1
+        # The reborn machine's injector carries the translated straggler
+        # windows: every GPU is inflated inside the (still open) window.
+        injector = cluster.nodes[1].server.machine.fault_injector
+        assert injector is not None
+        machine = cluster.nodes[1].server.machine
+        for gpu_id in range(len(machine.gpus)):
+            assert injector.plan.compute_inflation(gpu_id, 25_000.0) == 3.0
+
+
+# ----------------------------------------------------------------------
+# Router policy
+# ----------------------------------------------------------------------
+class TestRouterPolicy:
+    def test_affinity_pins_a_key_to_one_node(self):
+        cluster = small_cluster(
+            3, affinity=lambda batch: batch.requests[0].rid % 2
+        )
+        targets = {}
+        original = Router._send
+
+        def spy(router, entry, now, *, from_node):
+            key = entry.batch.requests[0].rid % 2
+            targets.setdefault(key, set()).add(entry.node)
+            return original(router, entry, now, from_node=from_node)
+
+        cluster.router._send = spy.__get__(cluster.router, Router)
+        result = run_small(cluster, num_requests=16, rate=2_000.0)
+        assert result.completed_requests == 16
+        for nodes in targets.values():
+            assert len(nodes) == 1
+
+    def test_tie_breaks_come_from_the_run_seed(self):
+        def pick_sequence(seed):
+            cluster = small_cluster(3, seed=seed)
+            order = []
+            original = Router._send
+
+            def spy(router, entry, now, *, from_node):
+                order.append(entry.node)
+                return original(router, entry, now, from_node=from_node)
+
+            cluster.router._send = spy.__get__(cluster.router, Router)
+            run_small(cluster, num_requests=16, rate=5_000.0, seed=0)
+            return order
+
+        assert pick_sequence(7) == pick_sequence(7)
+        sequences = {tuple(pick_sequence(s)) for s in range(6)}
+        assert len(sequences) > 1  # the seed actually steers the ties
+
+
+# ----------------------------------------------------------------------
+# Interconnect pricing
+# ----------------------------------------------------------------------
+class TestInterconnect:
+    def test_alpha_beta_cost_model(self):
+        link = CrossNodeInterconnect(
+            latency_us=25.0, bandwidth_gbps=12.5, per_request_us=1.0
+        )
+        # 12.5 GB/s → 1 MB costs 80 µs of serialization.
+        assert link.transfer_us(1_000_000, num_requests=2) == pytest.approx(
+            25.0 + 2.0 + 80.0
+        )
+        assert link.transfer_us(0) == pytest.approx(26.0)
+
+    def test_payload_scales_with_sequence_length(self):
+        short = general_trace(2, 100.0, 2, seq_range=(16, 16), seed=0)[0]
+        long = general_trace(2, 100.0, 2, seq_range=(512, 512), seed=0)[0]
+        assert batch_payload_bytes(long) > batch_payload_bytes(short)
+
+    def test_cross_node_dispatch_pays_the_link(self):
+        # All traffic forced to node 1 (router home is node 0) must be
+        # delayed by the interconnect: first kernel starts later than the
+        # same workload served by node 0.
+        def makespan(affinity_node):
+            cluster = small_cluster(
+                2,
+                affinity=lambda batch: "all",
+                interconnect=CrossNodeInterconnect(
+                    latency_us=5_000.0, bandwidth_gbps=12.5
+                ),
+            )
+            cluster.router._affinity_map["all"] = affinity_node
+            return run_small(cluster, num_requests=8, rate=2_000.0).makespan_us
+
+        assert makespan(1) > makespan(0)
+
+
+# ----------------------------------------------------------------------
+# Node incarnation semantics
+# ----------------------------------------------------------------------
+class TestClusterNode:
+    def test_crash_is_idempotent_and_recover_rebuilds(self):
+        from repro.sim.engine import Engine
+
+        node = ClusterNode(
+            0, SMALL_MODEL, SMALL_NODE, "intra",
+            engine=Engine(), check_memory=False,
+        )
+        first_server = node.server
+        node.crash()
+        node.crash()  # idempotent
+        assert not node.alive
+        assert node.server.machine.halted
+        node.recover()
+        assert node.alive
+        assert node.incarnation == 1
+        assert node.server is not first_server
+        node.recover()  # no-op when alive
+        assert node.incarnation == 1

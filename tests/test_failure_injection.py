@@ -167,37 +167,43 @@ def _random_plan(rng):
         LinkDegradation,
     )
 
+    def _overlaps(candidate, existing):
+        return any(
+            set(candidate.targets()) & set(f.targets())
+            and candidate.start < f.end
+            and f.start < candidate.end
+            for f in existing
+        )
+
     faults = []
     for _ in range(rng.integers(1, 4)):
         kind = rng.integers(0, 4)
         start = float(rng.uniform(0, 600_000))
         end = start + float(rng.uniform(1_000, 200_000))
         if kind == 0:
-            faults.append(
-                GpuStraggler(
-                    start=start, end=end,
-                    gpu=int(rng.integers(0, 4)),
-                    factor=float(rng.uniform(1.5, 6.0)),
-                )
+            fault = GpuStraggler(
+                start=start, end=end,
+                gpu=int(rng.integers(0, 4)),
+                factor=float(rng.uniform(1.5, 6.0)),
             )
         elif kind == 1:
-            faults.append(
-                LinkDegradation(
-                    start=start, end=end,
-                    fraction=float(rng.uniform(0.2, 0.9)),
-                )
+            fault = LinkDegradation(
+                start=start, end=end,
+                fraction=float(rng.uniform(0.2, 0.9)),
             )
         elif kind == 2:
             # Keep failure windows shorter than the retry budget most of
             # the time; longer windows exercise shedding, also legal.
-            faults.append(LaunchFailure(start=start, end=start + 4_000.0))
+            fault = LaunchFailure(start=start, end=start + 4_000.0)
         else:
-            faults.append(
-                HostJitter(
-                    start=start, end=end,
-                    amplitude=float(rng.uniform(1.0, 10.0)),
-                )
+            fault = HostJitter(
+                start=start, end=end,
+                amplitude=float(rng.uniform(1.0, 10.0)),
             )
+        # Same-target overlap is a ConfigError since plan validation
+        # landed; drop the colliding draw (the plan stays random-but-valid).
+        if not _overlaps(fault, faults):
+            faults.append(fault)
     return FaultPlan(faults)
 
 

@@ -61,6 +61,84 @@ class TestPlanValidation:
         with pytest.raises(ConfigError):
             FaultPlan(["not a fault"])
 
+    def test_overlapping_same_target_windows_rejected(self):
+        # Two straggler windows on the same GPU may not overlap; the error
+        # names both offending windows.
+        with pytest.raises(ConfigError, match=r"overlap.*gpu=1.*gpu=1"):
+            FaultPlan(
+                [
+                    GpuStraggler(start=0.0, end=100.0, gpu=1, factor=2.0),
+                    GpuStraggler(start=50.0, end=150.0, gpu=1, factor=3.0),
+                ]
+            )
+        # The single shared link is one target.
+        with pytest.raises(ConfigError, match="overlap"):
+            FaultPlan(
+                [
+                    LinkDegradation(start=0.0, end=100.0, fraction=0.5),
+                    LinkDegradation(start=50.0, end=100.0, fraction=0.5),
+                ]
+            )
+        with pytest.raises(ConfigError, match="overlap"):
+            FaultPlan(
+                [
+                    LaunchFailure(start=0.0, end=100.0),
+                    LaunchFailure(start=99.0, end=200.0),
+                ]
+            )
+
+    def test_disjoint_or_distinct_target_windows_accepted(self):
+        # Half-open windows: [0, 100) then [100, 200) on one target is fine,
+        # and different targets may overlap freely.
+        FaultPlan(
+            [
+                GpuStraggler(start=0.0, end=100.0, gpu=1, factor=2.0),
+                GpuStraggler(start=100.0, end=200.0, gpu=1, factor=3.0),
+                GpuStraggler(start=0.0, end=200.0, gpu=2, factor=5.0),
+                LinkDegradation(start=0.0, end=200.0, fraction=0.5),
+            ]
+        )
+
+    def test_node_fault_parameters_enforced(self):
+        from repro.faults.plan import NetworkPartition, NodeCrash, NodeDegradation
+
+        with pytest.raises(ConfigError):
+            NodeCrash(start=0.0, end=1.0, node=-1)
+        with pytest.raises(ConfigError):
+            NetworkPartition(start=0.0, end=1.0, nodes=())
+        with pytest.raises(ConfigError):
+            NetworkPartition(start=0.0, end=1.0, nodes=(1, 1))
+        with pytest.raises(ConfigError):
+            NodeDegradation(start=0.0, end=1.0, node=0, factor=0.5)
+        # Same node, overlapping crash windows: one target.
+        with pytest.raises(ConfigError, match="overlap"):
+            FaultPlan(
+                [
+                    NodeCrash(start=0.0, end=100.0, node=1),
+                    NodeCrash(start=50.0, end=150.0, node=1),
+                ]
+            )
+        # Partitions occupy every node they cut off.
+        with pytest.raises(ConfigError, match="overlap"):
+            FaultPlan(
+                [
+                    NetworkPartition(start=0.0, end=100.0, nodes=(1, 2)),
+                    NetworkPartition(start=50.0, end=150.0, nodes=(2,)),
+                ]
+            )
+        # Distinct nodes never conflict.
+        plan = FaultPlan(
+            [
+                NodeCrash(start=0.0, end=100.0, node=1),
+                NodeCrash(start=50.0, end=150.0, node=2),
+                NodeDegradation(start=0.0, end=150.0, node=1, factor=3.0),
+            ]
+        )
+        assert len(plan.node_faults) == 3
+        assert plan.node_crashed(1, 50.0)
+        assert not plan.node_crashed(1, 100.0)
+        assert not plan.node_partitioned(1, 50.0)
+
 
 class TestPlanQueries:
     def test_windows_are_half_open(self):
@@ -70,25 +148,26 @@ class TestPlanQueries:
         assert f.active(19.999)
         assert not f.active(20.0)
 
-    def test_straggler_factors_multiply_per_gpu(self):
+    def test_straggler_factors_resolve_per_gpu(self):
+        # Same-GPU windows must be disjoint (overlap is a ConfigError);
+        # concurrent windows on *different* GPUs stay independent.
         plan = FaultPlan(
             [
                 GpuStraggler(start=0.0, end=100.0, gpu=1, factor=2.0),
-                GpuStraggler(start=50.0, end=150.0, gpu=1, factor=3.0),
+                GpuStraggler(start=100.0, end=150.0, gpu=1, factor=3.0),
                 GpuStraggler(start=0.0, end=100.0, gpu=2, factor=5.0),
             ]
         )
         assert plan.compute_inflation(1, 25.0) == 2.0
-        assert plan.compute_inflation(1, 75.0) == 6.0
         assert plan.compute_inflation(1, 125.0) == 3.0
         assert plan.compute_inflation(2, 25.0) == 5.0
         assert plan.compute_inflation(0, 25.0) == 1.0
 
-    def test_bandwidth_fraction_composes(self):
+    def test_bandwidth_fraction_tracks_active_window(self):
         plan = FaultPlan(
             [
-                LinkDegradation(start=0.0, end=100.0, fraction=0.5),
-                LinkDegradation(start=50.0, end=100.0, fraction=0.5),
+                LinkDegradation(start=0.0, end=50.0, fraction=0.5),
+                LinkDegradation(start=50.0, end=100.0, fraction=0.25),
             ]
         )
         assert plan.bandwidth_fraction(25.0) == 0.5
