@@ -11,11 +11,14 @@ Usage::
     python -m repro trace --out t.json --metrics-out m.prom  # observability
     python -m repro perf --scale smoke                   # perf harness
     python -m repro chaos --replicas 3 --crashes 1       # cluster chaos
+    python -m repro telemetry --report --alerts          # series + SLO burn
 
 For figure regeneration use ``python -m repro.experiments``; for fault
 injection and recovery see ``python -m repro faults --help``; for the
 merged Perfetto timeline see ``python -m repro trace --help``; for
-replicated-cluster chaos testing see ``python -m repro chaos --help``.
+replicated-cluster chaos testing see ``python -m repro chaos --help``;
+for windowed time-series, SLO burn-rate alerts, and the critical-path
+report see ``python -m repro telemetry --help``.
 """
 
 from __future__ import annotations
@@ -52,6 +55,10 @@ def main(argv=None) -> int:
         from repro.cluster.cli import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "telemetry":
+        from repro.obs.telemetry_cli import main as telemetry_main
+
+        return telemetry_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Serve a large language model on a simulated multi-GPU node.",

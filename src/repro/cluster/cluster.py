@@ -169,6 +169,9 @@ class Cluster:
         if self.obs is not None:
             self.obs.note_fault_plan(self.plan)
             self._register_gauges()
+            advisor = self.obs.fast_burn_advisor()
+            if advisor is not None:
+                self.router.attach_advisor(advisor)
 
     # ------------------------------------------------------------------
     def _accept_completion(self, node_index: int, batch: Batch, time: float) -> bool:
@@ -186,6 +189,24 @@ class Cluster:
                 f"repro_cluster_node{i}_inflight_requests",
                 f"Requests the router attributes to replica {i}.",
                 lambda i=i: float(self.router.node_inflight_requests(i)),
+            )
+            # Per-replica federation: one series family per reading, keyed
+            # by a replica label, so the fleet rolls up in the store
+            # (no-ops when the telemetry store is off).
+            obs.register_source(
+                "repro_cluster_inflight_requests",
+                lambda i=i: float(self.router.node_inflight_requests(i)),
+                replica=str(i),
+            )
+            obs.register_source(
+                "repro_cluster_node_alive",
+                lambda i=i: float(self.nodes[i].alive),
+                replica=str(i),
+            )
+            obs.register_source(
+                "repro_cluster_node_load_batches",
+                lambda i=i: float(self.router.node_load(i)),
+                replica=str(i),
             )
 
     # ------------------------------------------------------------------

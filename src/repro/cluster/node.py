@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, GpuStraggler, NodeDegradation
+from repro.obs.events import NodeCrashed, NodeRecovered
 from repro.serving.api import make_strategy
 from repro.serving.request import Batch
 from repro.serving.server import Server
@@ -160,7 +161,19 @@ class ClusterNode:
         if not self.alive:
             return
         self.alive = False
+        inflight = self.inflight_kernels()
         self.server.machine.halt()
+        self._crashed_at = self.engine.now
+        obs = self._observability
+        if obs is not None:
+            obs.bus.publish(
+                NodeCrashed(
+                    time_us=self.engine.now,
+                    node=self.index,
+                    incarnation=self.incarnation,
+                    inflight=inflight,
+                )
+            )
 
     def recover(self) -> None:
         """Reboot into a fresh incarnation (no-op when already alive)."""
@@ -169,6 +182,17 @@ class ClusterNode:
         self.incarnation += 1
         self._build()
         self.alive = True
+        obs = self._observability
+        if obs is not None:
+            down = self.engine.now - getattr(self, "_crashed_at", self.engine.now)
+            obs.bus.publish(
+                NodeRecovered(
+                    time_us=self.engine.now,
+                    node=self.index,
+                    incarnation=self.incarnation,
+                    down_us=down,
+                )
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "dead"

@@ -115,6 +115,14 @@ class Router:
         self.rejected_completions = 0
         #: Must stay 0: dispatches sent to a node marked unhealthy.
         self.unhealthy_dispatches = 0
+        #: Optional SLO fast-burn advisory (wired by the cluster when
+        #: burn-rate policies are configured): while it returns True,
+        #: dispatch skips affinity stickiness in favour of least-loaded
+        #: spread, so a burning fleet rebalances instead of piling onto
+        #: the sticky home.
+        self.advisor: Optional[Callable[[], bool]] = None
+        #: Dispatches where the advisory overrode an affinity hit.
+        self.advisory_spreads = 0
 
     # ------------------------------------------------------------------
     # Introspection (gauges, reports)
@@ -132,6 +140,10 @@ class Router:
     def open_batch_ids(self) -> List[int]:
         """Batches dispatched but not yet terminal (drain diagnostics)."""
         return sorted(self._inflight)
+
+    def attach_advisor(self, advisor: Callable[[], bool]) -> None:
+        """Wire the SLO fast-burn advisory into target selection."""
+        self.advisor = advisor
 
     @property
     def healthy_count(self) -> int:
@@ -233,7 +245,10 @@ class Router:
             key = self.affinity(batch)
             home = self._affinity_map.get(key)
             if home in candidates:
-                return home
+                if not (self.advisor is not None and self.advisor()):
+                    return home
+                # Fast burn: ignore stickiness, fall through to spread.
+                self.advisory_spreads += 1
         if len(candidates) == 1:
             # Skip the RNG draw entirely: a one-replica cluster must
             # consume no randomness (bit-identity with the plain server).

@@ -1,24 +1,39 @@
 """repro.obs — the unified observability layer.
 
-Three pieces, all derived from one structured event stream:
+Five pieces, all derived from one structured event stream:
 
 * :mod:`repro.obs.events` — typed events with sim-timestamps for every
   serving-layer decision (admission, dispatch, shed, preemption, retry,
-  breaker, strategy change, Principle-1 violation) on a synchronous
-  :class:`~repro.obs.events.EventBus`;
+  breaker, strategy change, Principle-1 violation, replica lifecycle,
+  SLO alerts) on a synchronous :class:`~repro.obs.events.EventBus`;
 * :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms that
   re-derives the :class:`~repro.serving.metrics.ServingMetrics` aggregates
   from the bus and exports Prometheus text plus JSON snapshots;
-* :mod:`repro.obs.spans` / :mod:`repro.obs.export` — per-request spans and
-  the merged Chrome/Perfetto timeline interleaving them with kernel slices
-  and control instants.
+* :mod:`repro.obs.telemetry` — a ring of sim-timestamped windows every
+  registry metric samples into on the heartbeat, with per-replica label
+  federation and windowed rate/percentile queries;
+* :mod:`repro.obs.slo` — declarative :class:`~repro.obs.slo.SloPolicy`
+  objectives evaluated per window into multi-window burn-rate alerts,
+  surfaced as typed events, counters, timeline instants, and an advisory
+  signal for the router and the overload breaker;
+* :mod:`repro.obs.spans` / :mod:`repro.obs.export` /
+  :mod:`repro.obs.analysis` — per-request spans, the merged
+  Chrome/Perfetto timeline, and the critical-path analyzer that
+  attributes the makespan to compute/comm/idle/contention per GPU.
 
-The front door is :class:`~repro.obs.observability.Observability`; pass one
-to ``serve(..., observability=obs)`` or a ``Server``/``LifecycleServer``.
+The front door is :class:`~repro.obs.observability.Observability`,
+configured by :class:`~repro.obs.observability.ObservabilityConfig`; pass
+one to ``serve(..., observability=obs)`` or a ``Server``/``LifecycleServer``.
 A server without one publishes nothing and behaves bit-identically to a
 build without this subsystem.
 """
 
+from repro.obs.analysis import (
+    CriticalPathReport,
+    GpuAttribution,
+    PathSegment,
+    analyze_critical_path,
+)
 from repro.obs.events import (
     BatchCompleted,
     BatchDispatched,
@@ -28,18 +43,24 @@ from repro.obs.events import (
     BreakerOpened,
     Event,
     EventBus,
+    NodeCrashed,
+    NodeRecovered,
     Principle1Violation,
     RequestsAdmitted,
     RequestsShed,
     RequestsTimedOut,
     RetryScheduled,
+    SloAlertResolved,
+    SloBurnRateAlert,
     StrategyDowngraded,
     StrategyUpgraded,
 )
 from repro.obs.export import merged_chrome_trace, validate_merged_trace
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.observability import Observability
+from repro.obs.observability import Observability, ObservabilityConfig
+from repro.obs.slo import BurnRule, SloEngine, SloPolicy
 from repro.obs.spans import RequestSpan, SpanBuilder, SpanSegment
+from repro.obs.telemetry import TimeSeriesStore
 
 __all__ = [
     "Event",
@@ -57,14 +78,27 @@ __all__ = [
     "StrategyDowngraded",
     "StrategyUpgraded",
     "Principle1Violation",
+    "NodeCrashed",
+    "NodeRecovered",
+    "SloBurnRateAlert",
+    "SloAlertResolved",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "TimeSeriesStore",
+    "BurnRule",
+    "SloPolicy",
+    "SloEngine",
     "SpanSegment",
     "RequestSpan",
     "SpanBuilder",
     "merged_chrome_trace",
     "validate_merged_trace",
+    "CriticalPathReport",
+    "GpuAttribution",
+    "PathSegment",
+    "analyze_critical_path",
     "Observability",
+    "ObservabilityConfig",
 ]

@@ -1,0 +1,342 @@
+"""Critical-path analytics over the merged timeline.
+
+Answers the question end-of-run aggregates cannot: *where did the makespan
+go*.  Two views, both derived from the kernel traces (plus request spans
+for queue context):
+
+**Per-GPU attribution** — an interval sweep over each (replica, GPU) lane
+classifies every instant of the run makespan as ``compute`` (a
+compute-like kernel resident, regardless of overlap), ``comm`` (only
+communication resident), or ``idle`` (nothing resident); the three
+partition the makespan exactly.  Contention — the time kernels spent
+inflated past their no-load durations by the §2.3 interference model — is
+then carved proportionally out of the busy classes, so::
+
+    compute + comm + contention + idle == makespan   (per lane, exactly)
+
+which is the invariant the acceptance tests pin on all four servers and a
+seeded chaos run.
+
+**Critical path** — a backward walk from the last kernel to finish.  At
+each step the gating edge is chosen the way the simulator actually
+serialised the work: a kernel that started after it became ready was
+waiting on its *device* (follow the same-lane predecessor); a kernel that
+started the moment it was ready was waiting on its *inputs* (follow the
+latest-finishing kernel anywhere that released it — on another GPU this is
+a comm edge).  Gaps between hops become ``wait`` segments, so the path
+partitions the tail-to-start interval and its segments sum to what they
+cover of the makespan.  The ranked "top segments" report aggregates path
+time by (kind, op) — the segments to attack first, MPK-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.kernel import KernelKind
+
+__all__ = [
+    "GpuAttribution",
+    "PathSegment",
+    "CriticalPathReport",
+    "analyze_critical_path",
+]
+
+_EPS = 1e-6  # float-comparison slack, µs
+
+
+@dataclass
+class GpuAttribution:
+    """Makespan attribution for one (replica, GPU) lane, in µs."""
+
+    replica: str
+    gpu: int
+    compute_us: float = 0.0
+    comm_us: float = 0.0
+    contention_us: float = 0.0
+    idle_us: float = 0.0
+
+    @property
+    def total_us(self) -> float:
+        return self.compute_us + self.comm_us + self.contention_us + self.idle_us
+
+    @property
+    def lane(self) -> str:
+        return f"{self.replica}:gpu{self.gpu}" if self.replica else f"gpu{self.gpu}"
+
+
+@dataclass
+class PathSegment:
+    """One hop of the critical path."""
+
+    kind: str  # "compute" | "comm" | "wait"
+    name: str
+    replica: str
+    gpu: int
+    start_us: float
+    end_us: float
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class CriticalPathReport:
+    """Everything the analyzer derived from one run's timelines."""
+
+    t0_us: float
+    makespan_us: float
+    per_gpu: List[GpuAttribution] = field(default_factory=list)
+    path: List[PathSegment] = field(default_factory=list)
+    #: Aggregate queue wait from the request spans (µs), for context.
+    span_queue_wait_us: float = 0.0
+    span_count: int = 0
+
+    @property
+    def path_coverage_us(self) -> float:
+        """Total time the walked path accounts for."""
+        return sum(s.duration_us for s in self.path)
+
+    def top_segments(self, n: int = 10) -> List[Tuple[str, str, float, int]]:
+        """``(kind, op, total_us, hops)`` ranked by path time, descending."""
+        agg: Dict[Tuple[str, str], Tuple[float, int]] = {}
+        for seg in self.path:
+            key = (seg.kind, seg.name)
+            total, hops = agg.get(key, (0.0, 0))
+            agg[key] = (total + seg.duration_us, hops + 1)
+        ranked = sorted(
+            ((kind, op, total, hops) for (kind, op), (total, hops) in agg.items()),
+            key=lambda item: -item[2],
+        )
+        return ranked[:n]
+
+    def describe(self) -> str:
+        """The human-readable report the ``telemetry`` CLI prints."""
+        lines = [
+            f"makespan: {self.makespan_us / 1e3:.2f} ms "
+            f"(from t={self.t0_us / 1e3:.2f} ms)",
+        ]
+        if self.span_count:
+            lines.append(
+                f"requests: {self.span_count} spans, "
+                f"total queue wait {self.span_queue_wait_us / 1e3:.2f} ms"
+            )
+        lines.append("")
+        header = (
+            f"{'lane':<14} {'compute':>10} {'comm':>10} "
+            f"{'contention':>11} {'idle':>10} {'busy%':>6}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for a in sorted(self.per_gpu, key=lambda a: a.lane):
+            busy = a.compute_us + a.comm_us + a.contention_us
+            frac = 100.0 * busy / a.total_us if a.total_us > 0 else 0.0
+            lines.append(
+                f"{a.lane:<14} {a.compute_us / 1e3:>8.2f}ms {a.comm_us / 1e3:>8.2f}ms "
+                f"{a.contention_us / 1e3:>9.2f}ms {a.idle_us / 1e3:>8.2f}ms "
+                f"{frac:>5.1f}%"
+            )
+        lines.append("")
+        lines.append(
+            f"critical path: {len(self.path)} segments covering "
+            f"{self.path_coverage_us / 1e3:.2f} ms"
+        )
+        top = self.top_segments()
+        if top:
+            header = f"{'rank':>4}  {'kind':<8} {'segment':<28} {'path time':>10} {'hops':>5}"
+            lines.append(header)
+            lines.append("-" * len(header))
+            for i, (kind, op, total, hops) in enumerate(top, 1):
+                lines.append(
+                    f"{i:>4}  {kind:<8} {op:<28} {total / 1e3:>8.2f}ms {hops:>5}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+class _Row:
+    """A trace row tagged with its replica label."""
+
+    __slots__ = ("replica", "row")
+
+    def __init__(self, replica: str, row) -> None:
+        self.replica = replica
+        self.row = row
+
+
+def _sweep_lane(rows: Sequence, t0: float, t1: float) -> Tuple[float, float, float]:
+    """(compute, comm, idle) partition of [t0, t1] for one lane's rows.
+
+    Priority at each instant: any compute-like kernel resident -> compute;
+    else any comm kernel resident -> comm; else idle.  Because the three
+    classes are decided per elementary interval of one boundary-sorted
+    sweep, they partition [t0, t1] exactly (no double counting under
+    overlap).
+    """
+    events: List[Tuple[float, int, int]] = []  # (time, delta, 0=compute 1=comm)
+    for r in rows:
+        lo = max(t0, min(t1, r.start))
+        hi = max(t0, min(t1, r.end))
+        if hi <= lo:
+            continue
+        chan = 1 if r.kind is KernelKind.COMM else 0
+        events.append((lo, +1, chan))
+        events.append((hi, -1, chan))
+    events.sort()
+    compute = comm = idle = 0.0
+    active = [0, 0]
+    prev = t0
+    for time, delta, chan in events:
+        if time > prev:
+            if active[0] > 0:
+                compute += time - prev
+            elif active[1] > 0:
+                comm += time - prev
+            else:
+                idle += time - prev
+            prev = time
+        active[chan] += delta
+    if t1 > prev:
+        idle += t1 - prev
+    return compute, comm, idle
+
+
+def _walk_path(tagged: List[_Row], t0: float) -> List[PathSegment]:
+    """Backward critical-path walk over every lane's rows."""
+    if not tagged:
+        return []
+    by_lane: Dict[Tuple[str, int], List[_Row]] = {}
+    for t in tagged:
+        by_lane.setdefault((t.replica, t.row.gpu), []).append(t)
+
+    def kind_of(row) -> str:
+        return "comm" if row.kind is KernelKind.COMM else "compute"
+
+    cur = max(tagged, key=lambda t: (t.row.end, t.row.start))
+    frontier = cur.row.end
+    segments: List[PathSegment] = []
+    for _ in range(len(tagged) + 1):  # bounded: each hop strictly recedes
+        row = cur.row
+        seg_start = min(row.start, frontier)
+        if frontier > seg_start:
+            segments.append(
+                PathSegment(
+                    kind=kind_of(row),
+                    name=row.op or row.name,
+                    replica=cur.replica,
+                    gpu=row.gpu,
+                    start_us=seg_start,
+                    end_us=frontier,
+                )
+            )
+        frontier = seg_start
+        if frontier <= t0 + _EPS:
+            break
+        if row.start > row.ready + _EPS:
+            # Device-gated: the lane was busy until our start.
+            pool = by_lane.get((cur.replica, row.gpu), [])
+            gate = row.start
+        else:
+            # Input-gated: follow whatever finished last before we were
+            # ready — on another GPU this is the comm/readiness edge.
+            pool = tagged
+            gate = row.ready
+        limit = min(gate + _EPS, frontier)
+        pred: Optional[_Row] = None
+        for cand in pool:
+            if cand is cur or cand.row.end > limit:
+                continue
+            if pred is None or cand.row.end > pred.row.end:
+                pred = cand
+        if pred is None:
+            if frontier > t0:
+                segments.append(
+                    PathSegment(
+                        kind="wait",
+                        name="start",
+                        replica=cur.replica,
+                        gpu=row.gpu,
+                        start_us=t0,
+                        end_us=frontier,
+                    )
+                )
+            break
+        if pred.row.end < frontier - _EPS:
+            segments.append(
+                PathSegment(
+                    kind="wait",
+                    name="dependency" if pool is tagged else "device",
+                    replica=cur.replica,
+                    gpu=row.gpu,
+                    start_us=pred.row.end,
+                    end_us=frontier,
+                )
+            )
+            frontier = pred.row.end
+        cur = pred
+    segments.reverse()
+    return segments
+
+
+def analyze_critical_path(
+    trace=None,
+    *,
+    traces: Sequence[Tuple[str, object]] = (),
+    spans: Sequence = (),
+) -> CriticalPathReport:
+    """Build the :class:`CriticalPathReport` for one run.
+
+    ``trace`` is a single-server :class:`~repro.sim.tracing.Trace`;
+    ``traces`` takes the cluster's labelled ``(label, Trace)`` pairs.  Both
+    may be given; lanes are keyed ``replica:gpuN``.
+    """
+    tagged: List[_Row] = []
+    if trace is not None:
+        tagged.extend(_Row("", r) for r in trace.rows)
+    for label, t in traces:
+        tagged.extend(_Row(str(label), r) for r in t.rows)
+
+    queue_wait = sum(s.queue_wait_us or 0.0 for s in spans)
+    if not tagged:
+        return CriticalPathReport(
+            t0_us=0.0,
+            makespan_us=0.0,
+            span_queue_wait_us=queue_wait,
+            span_count=len(spans),
+        )
+
+    t0 = min(t.row.start for t in tagged)
+    t1 = max(t.row.end for t in tagged)
+    per_gpu: List[GpuAttribution] = []
+    by_lane: Dict[Tuple[str, int], List] = {}
+    for t in tagged:
+        by_lane.setdefault((t.replica, t.row.gpu), []).append(t.row)
+    for (replica, gpu), rows in sorted(by_lane.items()):
+        compute, comm, idle = _sweep_lane(rows, t0, t1)
+        inflation = sum(max(0.0, r.duration - r.noload_duration) for r in rows)
+        busy = compute + comm
+        contention = min(inflation, busy)
+        if busy > 0 and contention > 0:
+            scale = (busy - contention) / busy
+            compute *= scale
+            comm *= scale
+        per_gpu.append(
+            GpuAttribution(
+                replica=replica,
+                gpu=gpu,
+                compute_us=compute,
+                comm_us=comm,
+                contention_us=contention,
+                idle_us=idle,
+            )
+        )
+
+    return CriticalPathReport(
+        t0_us=t0,
+        makespan_us=t1 - t0,
+        per_gpu=per_gpu,
+        path=_walk_path(tagged, t0),
+        span_queue_wait_us=queue_wait,
+        span_count=len(spans),
+    )

@@ -38,6 +38,10 @@ __all__ = [
     "Principle1Violation",
     "NodeHealthChanged",
     "RequestsFailedOver",
+    "NodeCrashed",
+    "NodeRecovered",
+    "SloBurnRateAlert",
+    "SloAlertResolved",
     "EventBus",
 ]
 
@@ -304,6 +308,67 @@ class RequestsFailedOver(Event):
     to_node: int = -1
     #: Which re-dispatch this is for the batch (1 = first failover).
     attempt: int = 0
+
+
+@dataclass(frozen=True)
+class NodeCrashed(Event):
+    """A replica process died (fault injection or chaos plan)."""
+
+    kind: ClassVar[str] = "node-crash"
+    node: int = -1
+    #: Monotonic restart count for the replica (0 = first life).
+    incarnation: int = 0
+    inflight: int = 0
+
+
+@dataclass(frozen=True)
+class NodeRecovered(Event):
+    """A crashed replica came back with a fresh incarnation."""
+
+    kind: ClassVar[str] = "node-recover"
+    node: int = -1
+    incarnation: int = 0
+    down_us: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# SLO burn-rate alerting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SloBurnRateAlert(Event):
+    """A multi-window burn-rate alert fired for one policy/severity.
+
+    Burn rate is ``error_rate / (1 - target)``: 1.0 means the error budget
+    is being spent exactly at the rate that exhausts it at the SLO horizon;
+    the fast-window threshold (~10x) means the budget is gone within hours
+    of sim time, which is the page-now signal.
+    """
+
+    kind: ClassVar[str] = "slo-burn-alert"
+    policy: str = ""
+    objective: str = ""
+    severity: str = "fast"
+    burn_long: float = 0.0
+    burn_short: float = 0.0
+    threshold: float = 0.0
+    window_us: float = 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable summary for alert tables and logs."""
+        return (
+            f"{self.policy} {self.severity}-burn: long={self.burn_long:.1f}x "
+            f"short={self.burn_short:.1f}x (threshold {self.threshold:.1f}x)"
+        )
+
+
+@dataclass(frozen=True)
+class SloAlertResolved(Event):
+    """A previously firing burn-rate alert dropped back under threshold."""
+
+    kind: ClassVar[str] = "slo-alert-resolved"
+    policy: str = ""
+    severity: str = "fast"
+    burn_short: float = 0.0
 
 
 # ----------------------------------------------------------------------

@@ -53,6 +53,10 @@ INSTANT_KINDS = frozenset(
         "principle1-violation",
         "node-health",
         "failover",
+        "node-crash",
+        "node-recover",
+        "slo-burn-alert",
+        "slo-alert-resolved",
     }
 )
 

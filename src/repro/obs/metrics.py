@@ -32,13 +32,16 @@ from repro.obs.events import (
     BreakerOpened,
     Event,
     EventBus,
+    NodeCrashed,
     NodeHealthChanged,
+    NodeRecovered,
     Principle1Violation,
     RequestsAdmitted,
     RequestsFailedOver,
     RequestsShed,
     RequestsTimedOut,
     RetryScheduled,
+    SloBurnRateAlert,
     StrategyDowngraded,
     StrategyUpgraded,
 )
@@ -58,8 +61,17 @@ def _label_key(labels: Dict[str, str]) -> _LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Order matters: backslashes first, or the escapes themselves would be
+    re-escaped.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _render_labels(key: _LabelKey, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in key]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in key]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -150,7 +162,15 @@ class Gauge:
 
 
 class Histogram:
-    """Cumulative-bucket histogram (Prometheus semantics)."""
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    Raw observations are also retained so :meth:`percentile` can answer
+    exact quantile queries (the bucket bounds are too coarse for p99
+    judgements).  The sorted buffer is cached behind a dirty flag: repeated
+    queries between observations reuse one sort (``sort_count`` counts the
+    sorts actually performed, and the unit tests pin query-after-query
+    identity on it).
+    """
 
     def __init__(
         self,
@@ -166,16 +186,41 @@ class Histogram:
         self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +Inf last
         self.sum = 0.0
         self.count = 0
+        self._raw: List[float] = []
+        self._sorted: List[float] = []
+        self._dirty = False
+        #: Number of full sorts performed (observability for the cache).
+        self.sort_count = 0
 
     def observe(self, value: float) -> None:
         """Record one observation into its bucket."""
         self.sum += value
         self.count += 1
+        self._raw.append(value)
+        self._dirty = True
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[i] += 1
                 return
         self.counts[-1] += 1
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Exact ``q``-quantile (0 <= q <= 1) of the raw observations.
+
+        Returns ``None`` when nothing has been observed.  Uses the
+        nearest-rank method on the cached sorted buffer; only re-sorts
+        after a new observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"histogram {self.name}: quantile {q} not in [0, 1]")
+        if not self._raw:
+            return None
+        if self._dirty:
+            self._sorted = sorted(self._raw)
+            self._dirty = False
+            self.sort_count += 1
+        rank = min(len(self._sorted) - 1, max(0, math.ceil(q * len(self._sorted)) - 1))
+        return self._sorted[rank]
 
     def expose(self) -> List[str]:
         """Prometheus text-exposition lines (cumulative ``_bucket`` series)."""
@@ -313,6 +358,14 @@ class MetricsRegistry:
             "repro_node_health_transitions_total",
             "Router health-state flips, by resulting state.",
         )
+        self.counter(
+            "repro_node_lifecycle_total",
+            "Replica crash/recover transitions, by kind.",
+        )
+        self.counter(
+            "repro_slo_alerts_total",
+            "Burn-rate alerts fired, by policy and severity.",
+        )
         self.histogram(
             "repro_request_latency_ms",
             "Arrival-to-completion latency of completed requests (ms).",
@@ -375,6 +428,14 @@ class MetricsRegistry:
         elif isinstance(event, NodeHealthChanged):
             c["repro_node_health_transitions_total"].inc(
                 1, healthy=str(event.healthy).lower()
+            )
+        elif isinstance(event, NodeCrashed):
+            c["repro_node_lifecycle_total"].inc(1, kind="crash")
+        elif isinstance(event, NodeRecovered):
+            c["repro_node_lifecycle_total"].inc(1, kind="recover")
+        elif isinstance(event, SloBurnRateAlert):
+            c["repro_slo_alerts_total"].inc(
+                1, policy=event.policy, severity=event.severity
             )
 
     # ------------------------------------------------------------------

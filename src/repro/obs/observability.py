@@ -1,64 +1,127 @@
 """The observability facade a server carries when telemetry is enabled.
 
-One :class:`Observability` object bundles the bus, the registry, and the
-span builder, and owns the two exports — Prometheus text and the merged
-Perfetto timeline.  Construct one and hand it to the serving entry point::
+One :class:`Observability` object bundles the bus, the registry, the span
+builder and — when :class:`ObservabilityConfig` asks for them — the
+windowed :class:`~repro.obs.telemetry.TimeSeriesStore` and the
+:class:`~repro.obs.slo.SloEngine`, and owns the exports: Prometheus text,
+the merged Perfetto timeline, windowed series, and the critical-path
+report.  Construct one and hand it to the serving entry point::
 
-    from repro.obs import Observability
-    obs = Observability()
+    from repro.obs import Observability, ObservabilityConfig, SloPolicy
+    obs = Observability(ObservabilityConfig(
+        telemetry=True,
+        slo_policies=(SloPolicy("availability", target=0.95),),
+    ))
     result = serve(model, node, observability=obs, record_trace=True, ...)
     obs.save_prometheus("metrics.prom")
-    obs.save_merged_trace("trace.json", trace=result.trace)
+    obs.save_series("series.json")
+    print(obs.critical_path(trace=result.trace).describe())
 
 Zero-overhead when absent: a server constructed without an
 ``Observability`` holds no bus, publishes nothing, arms no sampling
 heartbeat, and its timeline is bit-identical to a build without this
 subsystem (the test suite asserts it).  When present, the only engine
-interaction is a read-only gauge-sampling heartbeat on
-``Engine.heartbeat`` — it never reschedules device work, so enabling
-observability does not move a single kernel.
+interaction is a read-only sampling heartbeat on ``Engine.heartbeat`` —
+gauge snapshots, store pumping and SLO evaluation all ride it and never
+reschedule device work, so enabling telemetry does not move a single
+kernel.  The *advisory* signal (router spread, breaker early-trip) exists
+only when ``slo_policies`` are explicitly configured; a default
+``Observability()`` stays bit-identical.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Callable, List, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ConfigError
-from repro.obs.events import EventBus
+from repro.obs.analysis import CriticalPathReport, analyze_critical_path
+from repro.obs.events import BatchCompleted, BatchDispatched, EventBus
 from repro.obs.export import merged_chrome_trace, validate_merged_trace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloEngine, SloPolicy
 from repro.obs.spans import RequestSpan, SpanBuilder
+from repro.obs.telemetry import TimeSeriesStore
 
-__all__ = ["Observability"]
+__all__ = ["Observability", "ObservabilityConfig"]
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """What to arm on one :class:`Observability`.
+
+    ``telemetry`` turns on the windowed time-series store; configuring any
+    ``slo_policies`` implies it (burn rates need windows).  Everything
+    defaults off so a bare ``Observability()`` keeps the established
+    obs-on bit-identity contract.
+    """
+
+    sample_period_us: float = 10_000.0
+    retain_events: bool = True
+    #: Arm the windowed TimeSeriesStore (implied by ``slo_policies``).
+    telemetry: bool = False
+    #: Telemetry window width (µs); also the SLO burn-rate quantum.
+    window_us: float = 50_000.0
+    #: Ring capacity of the store.
+    max_windows: int = 512
+    slo_policies: Tuple[SloPolicy, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.sample_period_us <= 0:
+            raise ConfigError("sample_period_us must be positive")
+        if self.window_us <= 0:
+            raise ConfigError("window_us must be positive")
+        object.__setattr__(self, "slo_policies", tuple(self.slo_policies))
+
+    @property
+    def wants_telemetry(self) -> bool:
+        return self.telemetry or bool(self.slo_policies)
 
 
 class Observability:
-    """Bus + registry + spans for one serving run.
+    """Bus + registry + spans (+ store + SLO engine) for one serving run.
 
-    Parameters
-    ----------
-    sample_period_us:
-        Gauge-sampling period for the ``Engine.heartbeat`` snapshot stream
-        (default 10 ms of simulated time).
-    retain_events:
-        Keep every published event on the bus for the exporters.  Disable
-        only if you subscribe your own sinks and never export.
+    Accepts an :class:`ObservabilityConfig`; the legacy keyword form
+    ``Observability(sample_period_us=..., retain_events=...)`` still works
+    and overrides the config's fields.
     """
 
     def __init__(
         self,
+        config: Optional[ObservabilityConfig] = None,
         *,
-        sample_period_us: float = 10_000.0,
-        retain_events: bool = True,
+        sample_period_us: Optional[float] = None,
+        retain_events: Optional[bool] = None,
     ) -> None:
-        if sample_period_us <= 0:
-            raise ConfigError("sample_period_us must be positive")
-        self.sample_period_us = sample_period_us
-        self.bus = EventBus(retain=retain_events)
+        if config is None:
+            config = ObservabilityConfig()
+        if sample_period_us is not None or retain_events is not None:
+            overrides = {}
+            if sample_period_us is not None:
+                overrides["sample_period_us"] = sample_period_us
+            if retain_events is not None:
+                overrides["retain_events"] = retain_events
+            config = replace(config, **overrides)
+        self.config = config
+        self.sample_period_us = config.sample_period_us
+        self.bus = EventBus(retain=config.retain_events)
         self.registry = MetricsRegistry()
         self.registry.bind(self.bus)
         self.spans_builder = SpanBuilder(self.bus)
+        self.telemetry: Optional[TimeSeriesStore] = None
+        self.slo: Optional[SloEngine] = None
+        if config.wants_telemetry:
+            self.telemetry = TimeSeriesStore(
+                window_us=config.window_us, max_windows=config.max_windows
+            )
+            self.bus.subscribe(
+                self._observe_latencies, types=[BatchCompleted, BatchDispatched]
+            )
+            if config.slo_policies:
+                self.slo = SloEngine(
+                    config.slo_policies, bus=self.bus, store=self.telemetry
+                )
         self._fault_windows: List[Tuple[str, float, float]] = []
         self._armed = False
 
@@ -71,6 +134,17 @@ class Observability:
         """Expose a live reading (queue depth, KV bytes, ...) as a gauge."""
         self.registry.gauge(name, help, fn)
 
+    def register_source(
+        self, name: str, fn: Callable[[], float], **labels: str
+    ) -> None:
+        """Register a labelled store source (per-replica federation).
+
+        No-op when telemetry is off, so the cluster can wire its replicas
+        unconditionally.
+        """
+        if self.telemetry is not None:
+            self.telemetry.add_source(name, fn, **labels)
+
     def note_fault_plan(self, plan) -> None:
         """Record the armed fault windows for the merged timeline."""
         for fault in getattr(plan, "faults", ()):
@@ -79,11 +153,25 @@ class Observability:
                 continue  # open-ended window: nothing sensible to draw
             self._fault_windows.append((fault.describe(), fault.start, end))
 
+    def _observe_latencies(self, event) -> None:
+        """Stream raw latency/queue-wait observations into the store."""
+        store = self.telemetry
+        if store is None:
+            return
+        if isinstance(event, BatchCompleted):
+            for lat in event.latencies_us:
+                store.observe("repro_request_latency_ms", event.time_us, lat / 1e3)
+        elif isinstance(event, BatchDispatched) and event.first:
+            for wait in event.queue_waits_us:
+                store.observe("repro_request_queue_wait_ms", event.time_us, wait / 1e3)
+
     def arm(self, engine) -> None:
-        """Start the gauge-sampling heartbeat (idempotent).
+        """Start the sampling heartbeat (idempotent).
 
         Sampling rides :meth:`~repro.sim.engine.Engine.heartbeat`, so it
-        quiesces with the run and never keeps an idle engine alive.
+        quiesces with the run and never keeps an idle engine alive.  The
+        heartbeat is read-only: gauge snapshots, store pumping and SLO
+        evaluation never touch the schedule.
         """
         if self._armed:
             return
@@ -92,6 +180,10 @@ class Observability:
 
         def _sample() -> None:
             self.registry.sample_gauges(engine.now)
+            if self.telemetry is not None:
+                self.telemetry.pump(self.registry, engine.now)
+            if self.slo is not None:
+                self.slo.evaluate(engine.now)
 
         engine.heartbeat(self.sample_period_us, _sample, priority=9)
 
@@ -111,6 +203,12 @@ class Observability:
     def fault_windows(self) -> List[Tuple[str, float, float]]:
         return list(self._fault_windows)
 
+    def fast_burn_advisor(self) -> Optional[Callable[[], bool]]:
+        """The advisory callable for the router/breaker, if SLOs are armed."""
+        if self.slo is None:
+            return None
+        return self.slo.under_fast_burn
+
     # ------------------------------------------------------------------
     # Exports
     # ------------------------------------------------------------------
@@ -121,6 +219,16 @@ class Observability:
     def save_prometheus(self, path: str) -> None:
         """Write the Prometheus text exposition to ``path``."""
         self.registry.save_prometheus(path)
+
+    def save_series(self, path: str) -> None:
+        """Write the windowed series (``.prom`` or JSON by extension)."""
+        if self.telemetry is None:
+            raise ConfigError("telemetry store not armed (set telemetry=True)")
+        self.telemetry.save_series(path)
+
+    def critical_path(self, trace=None, *, traces=()) -> CriticalPathReport:
+        """Makespan attribution + critical-path walk over the timelines."""
+        return analyze_critical_path(trace, traces=traces, spans=self.spans())
 
     def json_snapshot(self) -> dict:
         """Counters, gauges, histograms, heartbeat samples, span summary."""

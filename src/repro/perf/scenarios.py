@@ -160,6 +160,66 @@ def _build_bursty_overload(scale: str, cache_on: bool):
     return srv, jobs
 
 
+def _build_obs_overhead(scale: str, cache_on: bool):
+    """Telemetry ablation: the bursty-overload run with and without obs.
+
+    Unlike the cache ablations, both arms keep every cache on; the toggled
+    unit is observability itself.  The ``True`` arm (the one the regression
+    gate guards) runs bare — no Observability at all, the zero-cost
+    contract's hot path — and the ``False`` arm arms the full telemetry
+    store plus two SLO policies, so the reported "speedup" is the wall-time
+    overhead factor of sampling, windowing, and burn-rate evaluation.
+    """
+    from repro.hw import v100_nvlink_node
+    from repro.models import OPT_30B
+    from repro.serving.api import make_strategy
+    from repro.serving.arrival import BurstyProcess
+    from repro.serving.generation import (
+        ContinuousBatchingServer,
+        generation_workload,
+    )
+
+    _reset_batch_ids()
+    model = OPT_30B.scaled_layers(4)
+    node = v100_nvlink_node(2)
+    cfg = ablation_config(
+        True,  # caches stay on in BOTH arms; obs is the toggled unit
+        max_inflight=_STEADY_INFLIGHT,
+        division_factor=_STEADY_DIVISION,
+    )
+    strat = make_strategy("liger", model, node, config=cfg)
+    obs = None
+    if not cache_on:
+        from repro.obs import Observability, ObservabilityConfig
+        from repro.obs.slo import SloPolicy
+
+        obs = Observability(
+            ObservabilityConfig(
+                telemetry=True,
+                window_us=20_000.0,
+                slo_policies=(
+                    SloPolicy("availability", target=0.95),
+                    SloPolicy(
+                        "latency-p99",
+                        objective="latency",
+                        target=0.99,
+                        latency_threshold_ms=50.0,
+                    ),
+                ),
+            )
+        )
+    n = 720 if scale == "full" else 160
+    jobs = generation_workload(
+        n, 1200.0, context_len=16, gen_tokens=(1, 2), seed=0,
+        arrival=BurstyProcess(1200.0, burstiness=4.0, phase_requests=32),
+    )
+    srv = ContinuousBatchingServer(
+        model, node, strat, max_batch=8, pipeline_depth=2,
+        record_trace=False, check_memory=False, observability=obs,
+    )
+    return srv, jobs
+
+
 # ----------------------------------------------------------------------
 # Table-1 matrix cells
 # ----------------------------------------------------------------------
@@ -240,6 +300,15 @@ def _all_scenarios() -> Dict[str, PerfScenario]:
                 "continuous-batching server"
             ),
             build=_build_bursty_overload,
+            ablate=True,
+        ),
+        PerfScenario(
+            name="obs_overhead",
+            description=(
+                "Bursty overload with full telemetry + SLO policies armed "
+                "vs no observability (speedup = obs overhead factor)"
+            ),
+            build=_build_obs_overhead,
             ablate=True,
         ),
     ]

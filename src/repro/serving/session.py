@@ -508,6 +508,12 @@ class ServingSession:
                 self.obs.note_fault_plan(config.fault_plan)
             self._register_overload_gauges(self.obs)
             self._register_perf_gauges(self.obs)
+            # SLO burn-rate advisory: only exists when policies were
+            # explicitly configured, so a default Observability keeps the
+            # obs-on bit-identity contract.
+            advisor = self.obs.fast_burn_advisor()
+            if advisor is not None and self.overload_ctl is not None:
+                self.overload_ctl.attach_advisor(advisor)
 
     @staticmethod
     def _reject_unwired(batch: Batch) -> None:  # pragma: no cover - guard

@@ -120,6 +120,14 @@ class TestMetricPrimitives:
         with pytest.raises(ConfigError):
             reg.gauge("name", "h")
 
+    def test_label_values_are_escaped(self):
+        c = Counter("x_total", "help")
+        c.inc(1, path='C:\\tmp\n"quoted"')
+        exposed = "\n".join(c.expose())
+        assert 'x_total{path="C:\\\\tmp\\n\\"quoted\\""} 1' in exposed
+        # The exposition must stay one record per line.
+        assert "\n" not in exposed.split("x_total{", 1)[1]
+
 
 # ----------------------------------------------------------------------
 # The golden hand-built scenario (pure events, no simulation)
@@ -185,6 +193,29 @@ class TestGoldenExports:
         got = _golden_scenario().to_prometheus()
         with open(os.path.join(GOLDEN_DIR, "scenario_metrics.prom")) as fh:
             assert got == fh.read()
+
+    def test_prometheus_histogram_conformance(self):
+        """Every histogram family: monotone buckets, +Inf == _count, _sum."""
+        text = _golden_scenario().to_prometheus()
+        families = re.findall(r"# TYPE (\S+) histogram", text)
+        assert "repro_request_latency_ms" in families
+        for family in families:
+            buckets = [
+                (m.group(1), float(m.group(2)))
+                for m in re.finditer(
+                    rf'^{family}_bucket{{le="([^"]+)"}} (\S+)$', text, re.M
+                )
+            ]
+            assert buckets, f"{family}: no buckets exposed"
+            assert buckets[-1][0] == "+Inf", f"{family}: +Inf bucket missing"
+            counts = [v for _, v in buckets]
+            assert counts == sorted(counts), f"{family}: non-monotone buckets"
+            count_m = re.search(rf"^{family}_count (\S+)$", text, re.M)
+            assert count_m, f"{family}: _count missing"
+            assert buckets[-1][1] == float(count_m.group(1))
+            assert re.search(rf"^{family}_sum (\S+)$", text, re.M), (
+                f"{family}: _sum missing"
+            )
 
     def test_merged_trace_matches_golden(self):
         got = json.dumps(_golden_scenario().merged_chrome_trace(), indent=2)
