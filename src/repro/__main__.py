@@ -95,6 +95,7 @@ def main(argv=None) -> int:
         node,
         strategy=args.strategy,
         workload=args.workload,
+        policy=args.policy,
         arrival_rate=args.rate,
         num_requests=args.requests,
         batch_size=args.batch,

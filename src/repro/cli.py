@@ -24,6 +24,7 @@ import logging
 import sys
 from typing import Optional
 
+from repro.core.policy import policy_names
 from repro.hw.devices import TESTBEDS
 from repro.models.specs import MODELS
 from repro.serving.api import STRATEGIES
@@ -55,6 +56,10 @@ def workload_parent(
     parent.add_argument("--node", default="v100", choices=sorted(TESTBEDS))
     parent.add_argument("--gpus", type=int, default=4)
     parent.add_argument("--strategy", default="liger", choices=STRATEGIES)
+    parent.add_argument(
+        "--policy", default=None, choices=policy_names(),
+        help="operator scheduling policy (liger strategy only; "
+        "default: dichotomy)")
     parent.add_argument("--workload", default="general",
                         choices=("general", "generative"))
     parent.add_argument("--rate", type=float, default=rate_default,

@@ -15,11 +15,21 @@ from repro.core.contention import (
 )
 from repro.core.decomposition import (
     DecompositionPlanner,
+    split_all_to_all,
     split_allreduce,
     split_gemm_horizontal,
     split_gemm_vertical,
 )
 from repro.core.plan_cache import SchedulePlanCache
+from repro.core.policy import (
+    POLICIES,
+    ExpertOverlapPolicy,
+    LigerDichotomyPolicy,
+    SchedulingPolicy,
+    default_resource_class,
+    make_policy,
+    policy_names,
+)
 from repro.core.runtime import LigerRuntime, RuntimeStats
 from repro.core.scheduler import LigerScheduler, Round
 
@@ -36,6 +46,14 @@ __all__ = [
     "split_gemm_vertical",
     "split_gemm_horizontal",
     "split_allreduce",
+    "split_all_to_all",
+    "SchedulingPolicy",
+    "LigerDichotomyPolicy",
+    "ExpertOverlapPolicy",
+    "POLICIES",
+    "make_policy",
+    "policy_names",
+    "default_resource_class",
     "LigerScheduler",
     "Round",
     "SchedulePlanCache",

@@ -152,6 +152,16 @@ class FuncVec:
             return True
         return self._funcs[0].is_comm != self._funcs[1].is_comm
 
+    def next_switches_class(self, classify) -> bool:
+        """Generalized switch test for policy-defined resource classes:
+        does the kernel *after* the head land in a different class under
+        ``classify`` (or is the head the last kernel)?"""
+        if not self._funcs:
+            raise ConfigError("switch test on empty FuncVec")
+        if len(self._funcs) == 1:
+            return True
+        return classify(self._funcs[0]) != classify(self._funcs[1])
+
     def head_kind(self) -> KernelKind:
         """Kernel kind of the head function."""
         return self.peek().kind

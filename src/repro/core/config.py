@@ -74,6 +74,12 @@ class LigerConfig:
         batches in arrival order (the paper's Algorithm 1); ``"best_fit"``
         (extension) greedily picks the largest eligible batch head that
         fits the residual window, trading fairness for fill.
+    policy:
+        Scheduling policy (:mod:`repro.core.policy`): ``"dichotomy"`` is
+        the paper's Algorithm 1 (compute vs communication, the default,
+        bit-identical to the goldens); ``"expert_overlap"`` generalizes
+        Principle 1 to resource classes so MoE expert GEMMs interleave
+        against all-to-all dispatch/combine.
     comm_lag_penalty:
         Extra communication-kernel startup latency (µs) charged in pure
         ``INTER_STREAM`` mode — the empirically-observed launch-queue lag
@@ -107,6 +113,7 @@ class LigerConfig:
     reduce_nccl_channels: bool = True
     adaptive_anticipation: bool = False
     packing: str = "first_fit"
+    policy: str = "dichotomy"
     comm_lag_penalty: float = us(12.0)
     enable_plan_cache: bool = True
     plan_cache_size: int = 256
@@ -122,6 +129,15 @@ class LigerConfig:
             raise ConfigError(f"sync_mode must be a SyncMode, got {self.sync_mode!r}")
         if self.packing not in ("first_fit", "best_fit"):
             raise ConfigError(f"unknown packing policy {self.packing!r}")
+        # Imported lazily: repro.core.policy depends on assembly/kernel,
+        # not on config, so the late import breaks no cycles.
+        from repro.core.policy import POLICIES, policy_names
+
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"unknown scheduling policy {self.policy!r}; "
+                f"available: {', '.join(policy_names())}"
+            )
         if self.comm_lag_penalty < 0:
             raise ConfigError("comm_lag_penalty must be >= 0")
         if self.plan_cache_size < 1:

@@ -20,6 +20,11 @@ Decomposition strategies (Fig. 9):
 * **All-reduce**: split the payload bytes evenly; each piece is an
   independent smaller collective (NCCL treats chunks independently), paying
   one extra latency term per piece.
+* **All-to-all**: the same byte split applied to the MoE expert
+  dispatch/combine exchange.  Not wired by default — the
+  ``expert_overlap`` policy registers it via
+  :meth:`DecompositionPlanner.register_split_rule`, the hook that lets a
+  scheduling policy teach the planner new kernel classes.
 
 A kernel piece is a real :class:`~repro.core.assembly.KernelFunc` whose op
 has the scaled shape — its duration comes from the same profiler, so the
@@ -36,7 +41,13 @@ from repro.errors import ConfigError
 from repro.models.ops import OpDesc
 from repro.profiling.profiler import OpProfiler
 
-__all__ = ["DecompositionPlanner", "split_gemm_vertical", "split_gemm_horizontal", "split_allreduce"]
+__all__ = [
+    "DecompositionPlanner",
+    "split_gemm_vertical",
+    "split_gemm_horizontal",
+    "split_allreduce",
+    "split_all_to_all",
+]
 
 
 def split_gemm_vertical(op: OpDesc, numer: int, denom: int) -> Tuple[OpDesc, OpDesc]:
@@ -80,6 +91,23 @@ def split_allreduce(op: OpDesc, numer: int, denom: int) -> Tuple[OpDesc, OpDesc]
     )
 
 
+def split_all_to_all(op: OpDesc, numer: int, denom: int) -> Tuple[OpDesc, OpDesc]:
+    """Split an all-to-all payload into (numer/denom, rest) byte chunks.
+
+    Reuses the ``.c`` piece-name convention so runtime decomposition
+    accounting treats collective pieces uniformly.
+    """
+    _check_fraction(numer, denom)
+    piece = op.comm_bytes * numer / denom
+    rest = op.comm_bytes - piece
+    if piece <= 0 or rest <= 0:
+        raise ConfigError(f"{op.name}: degenerate all-to-all split")
+    return (
+        replace(op, name=f"{op.name}.c{numer}/{denom}", comm_bytes=piece),
+        replace(op, name=f"{op.name}.rest", comm_bytes=rest),
+    )
+
+
 def _check_fraction(numer: int, denom: int) -> None:
     if denom < 2 or not 1 <= numer < denom:
         raise ConfigError(f"invalid decomposition fraction {numer}/{denom}")
@@ -103,17 +131,39 @@ class DecompositionPlanner:
     def __post_init__(self) -> None:
         if self.division_factor < 1:
             raise ConfigError("division_factor must be >= 1")
+        #: Split-rule registry, op flavour → ``fn(op, numer, denom)``.  The
+        #: defaults reproduce the paper's manual pre-decided strategies;
+        #: scheduling policies may register additional kernel classes
+        #: (``expert_overlap`` adds the all-to-all byte splitter).
+        self._split_rules = {
+            "gemm": split_gemm_vertical,
+            "all_reduce": split_allreduce,
+        }
+
+    def register_split_rule(self, flavour: str, splitter) -> None:
+        """Teach the planner to decompose a new op flavour.
+
+        ``splitter(op, numer, denom) -> (piece_op, rest_op)`` must follow
+        the piece/rest naming conventions of the built-in splitters.
+        """
+        self._split_rules[flavour] = splitter
+
+    def split_rule(self, flavour: str):
+        """The registered splitter for an op flavour, or None."""
+        return self._split_rules.get(flavour)
 
     def can_decompose(self, func: KernelFunc) -> bool:
         """Whether this kernel admits a factor-``d`` split at all."""
         if not func.decomposable or self.division_factor < 2:
             return False
-        if func.op.op == "gemm":
+        flavour = func.op.op
+        if flavour not in self._split_rules:
+            return False
+        if flavour == "gemm":
             # Need at least d columns to split d ways.
             return func.op.gemm_shape[2] >= self.division_factor  # type: ignore[index]
-        if func.op.op == "all_reduce":
-            return func.op.comm_bytes > 0
-        return False
+        # Collective flavours split their payload bytes.
+        return func.op.comm_bytes > 0
 
     def split_to_fit(
         self, func: KernelFunc, window: float, *, scale: float = 1.0
@@ -126,12 +176,10 @@ class DecompositionPlanner:
         """
         if not self.can_decompose(func):
             return None
+        splitter = self._split_rules[func.op.op]
         d = self.division_factor
         for numer in range(d - 1, 0, -1):
-            if func.op.op == "gemm":
-                piece_op, rest_op = split_gemm_vertical(func.op, numer, d)
-            else:
-                piece_op, rest_op = split_allreduce(func.op, numer, d)
+            piece_op, rest_op = splitter(func.op, numer, d)
             piece_duration = self.profiler.duration(piece_op)
             if piece_duration * scale <= window:
                 piece = KernelFunc(
@@ -159,12 +207,10 @@ class DecompositionPlanner:
         """Offline table: duration of every ``i/d`` division of a kernel."""
         if not self.can_decompose(func):
             return []
+        splitter = self._split_rules[func.op.op]
         out: List[Tuple[str, float]] = []
         d = self.division_factor
         for numer in range(1, d):
-            if func.op.op == "gemm":
-                piece_op, _ = split_gemm_vertical(func.op, numer, d)
-            else:
-                piece_op, _ = split_allreduce(func.op, numer, d)
+            piece_op, _ = splitter(func.op, numer, d)
             out.append((f"{numer}/{d}", self.profiler.duration(piece_op)))
         return out

@@ -61,6 +61,7 @@ class _PlanEntry:
     __slots__ = (
         "n_primary",
         "primary_kind",
+        "primary_class",
         "window",
         "fill",
         "actions",
@@ -69,10 +70,19 @@ class _PlanEntry:
     )
 
     def __init__(
-        self, n_primary, primary_kind, window, fill, actions, protos0, protos1
+        self,
+        n_primary,
+        primary_kind,
+        primary_class,
+        window,
+        fill,
+        actions,
+        protos0,
+        protos1,
     ) -> None:
         self.n_primary = n_primary
         self.primary_kind = primary_kind
+        self.primary_class = primary_class
         self.window = window
         self.fill = fill
         self.actions = actions
@@ -96,9 +106,18 @@ def _proto(kernels: Dict[int, Kernel]) -> Tuple:
 class SchedulePlanCache:
     """LRU memo of planned rounds, keyed by the scheduler's full input state."""
 
-    def __init__(self, gpus: List[int], *, max_entries: int = 256) -> None:
+    def __init__(
+        self,
+        gpus: List[int],
+        *,
+        max_entries: int = 256,
+        policy_id: str = "dichotomy",
+    ) -> None:
         self.gpus = list(gpus)
         self.max_entries = max_entries
+        #: The scheduling-policy id this cache serves; per-policy counter
+        #: rows are keyed by it so the cache-key dimension is observable.
+        self.policy_id = policy_id
         self._entries: "OrderedDict[Tuple, _PlanEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -109,6 +128,15 @@ class SchedulePlanCache:
         #: Wall seconds spent planning + instantiating on misses — the cost
         #: a hit avoids (exported as a perf gauge).
         self.build_seconds = 0.0
+        #: Per-policy split of hits/misses/evictions/uncacheable.
+        self.per_policy: Dict[str, Dict[str, int]] = {}
+
+    def _bump(self, counter: str) -> None:
+        row = self.per_policy.setdefault(
+            self.policy_id,
+            {"hits": 0, "misses": 0, "evictions": 0, "uncacheable": 0},
+        )
+        row[counter] += 1
 
     # ------------------------------------------------------------------
     # Fingerprinting
@@ -127,15 +155,26 @@ class SchedulePlanCache:
             sig = fv.sig
             if sig is None:
                 self.uncacheable += 1
+                self._bump("uncacheable")
                 return None
             sigs.append(sig)
         anticipator_fp = getattr(scheduler.anticipator, "fingerprint", None)
         if anticipator_fp is None:
             self.uncacheable += 1
+            self._bump("uncacheable")
             return None
         decomposer = scheduler.decomposer
         division = None if decomposer is None else decomposer.division_factor
-        return (anticipator_fp(), division, scheduler.packing, tuple(sigs))
+        # The policy fingerprint joins the key so memoized plans never leak
+        # across policies (stubs without a policy fall back to the legacy
+        # packing string under the default dichotomy id).
+        policy = getattr(scheduler, "policy", None)
+        policy_fp = (
+            policy.fingerprint()
+            if policy is not None
+            else ("dichotomy", scheduler.packing)
+        )
+        return (anticipator_fp(), division, policy_fp, tuple(sigs))
 
     # ------------------------------------------------------------------
     # LRU plumbing
@@ -145,9 +184,11 @@ class SchedulePlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            self._bump("misses")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        self._bump("hits")
         return entry
 
     def put(
@@ -162,6 +203,7 @@ class SchedulePlanCache:
         self._entries[key] = _PlanEntry(
             n_primary=len(round_.subset0),
             primary_kind=round_.primary_kind,
+            primary_class=getattr(round_, "primary_class", ""),
             window=round_.window,
             fill=round_.secondary_fill,
             actions=tuple(actions),
@@ -171,6 +213,7 @@ class SchedulePlanCache:
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+            self._bump("evictions")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -212,6 +255,7 @@ class SchedulePlanCache:
             subset1=subset1,
             window=entry.window,
             secondary_fill=entry.fill,
+            primary_class=entry.primary_class,
         )
         scheduler.rounds_planned += 1
         scheduler._sweep_drained()
@@ -263,7 +307,9 @@ class SchedulePlanCache:
         coll.name = f"{op.name}_b{bid}"
         coll.members = {}
         coll.uid = next(_collective_ids)
-        member_op = op.op if coll_kind is CollectiveKind.ALL_REDUCE else "p2p"
+        # Every non-P2P collective keeps the op flavour (all_reduce,
+        # all_to_all, ...); P2P members are always flavoured "p2p".
+        member_op = "p2p" if coll_kind is CollectiveKind.P2P else op.op
         for gpu in participants:
             coll.members[gpu] = _fast_kernel(
                 f"{coll.name}@g{gpu}",

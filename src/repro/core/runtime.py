@@ -32,6 +32,7 @@ from repro.core.config import LigerConfig, SyncMode
 from repro.core.contention import ContentionAnticipator
 from repro.core.decomposition import DecompositionPlanner
 from repro.core.plan_cache import SchedulePlanCache
+from repro.core.policy import make_policy
 from repro.core.scheduler import LigerScheduler, Round
 from repro.parallel.base import instantiate_op
 from repro.profiling.profiler import OpProfiler
@@ -85,17 +86,22 @@ class LigerRuntime:
             if config.enable_decomposition
             else None
         )
+        policy = make_policy(config.policy, packing=config.packing)
         self.scheduler = LigerScheduler(
             anticipator=anticipator,
             decomposer=decomposer,
             max_inflight=config.max_inflight,
-            packing=config.packing,
+            policy=policy,
         )
         self.stats = RuntimeStats()
         self._gpus = list(range(machine.node.num_gpus))
         #: Memoized Algorithm 1 (bit-identical replay of recurring rounds).
         self.plan_cache: Optional[SchedulePlanCache] = (
-            SchedulePlanCache(self._gpus, max_entries=config.plan_cache_size)
+            SchedulePlanCache(
+                self._gpus,
+                max_entries=config.plan_cache_size,
+                policy_id=policy.name,
+            )
             if config.enable_plan_cache
             else None
         )
@@ -243,6 +249,21 @@ class LigerRuntime:
 
         self._account_launches(round_.subset0)
         self._account_launches(round_.subset1)
+
+        if self.machine.trace is not None:
+            # Label kernels with their scheduling provenance so trace rows
+            # (and the merged timeline) carry policy + resource class.
+            # Gated on tracing: the zero-cost contract for untraced runs.
+            pol = self.scheduler.policy
+            for kernel_maps, funcs in (
+                (subset0_kernels, round_.subset0),
+                (subset1_kernels, round_.subset1),
+            ):
+                for kernels, func in zip(kernel_maps, funcs):
+                    rclass = pol.resource_class(func)
+                    for kern in kernels.values():
+                        kern.meta["_policy"] = pol.name
+                        kern.meta["_rclass"] = rclass
 
         if self.on_round_launched is not None:
             for which, kernel_maps in ((0, subset0_kernels), (1, subset1_kernels)):

@@ -30,6 +30,7 @@ from typing import Deque, List, Optional
 from repro.core.assembly import FuncVec, KernelFunc
 from repro.core.contention import ContentionAnticipator
 from repro.core.decomposition import DecompositionPlanner
+from repro.core.policy import LigerDichotomyPolicy, SchedulingPolicy
 from repro.errors import ConfigError, SchedulingError
 from repro.sim.kernel import KernelKind
 
@@ -46,6 +47,7 @@ class Round:
     subset1: List[KernelFunc]
     window: float              # accumulated no-load duration of subset0
     secondary_fill: float      # anticipated duration packed into subset1
+    primary_class: str = ""    # policy resource class of the primary run
 
     def __post_init__(self) -> None:
         if not self.subset0:
@@ -77,17 +79,20 @@ class LigerScheduler:
         decomposer: Optional[DecompositionPlanner] = None,
         max_inflight: int = 4,
         packing: str = "first_fit",
+        policy: Optional[SchedulingPolicy] = None,
     ) -> None:
         if max_inflight < 1:
             raise ConfigError("max_inflight must be >= 1")
-        if packing not in ("first_fit", "best_fit"):
-            raise ConfigError(
-                f"packing must be 'first_fit' or 'best_fit', got {packing!r}"
-            )
+        #: The programmable half of Algorithm 1 (repro.core.policy): owns
+        #: resource classification, primary delimitation, and secondary
+        #: packing.  Defaults to the paper's dichotomy.
+        self.policy = policy or LigerDichotomyPolicy(packing=packing)
         self.anticipator = anticipator
         self.decomposer = decomposer
+        if decomposer is not None:
+            self.policy.configure_decomposer(decomposer)
         self.max_inflight = max_inflight
-        self.packing = packing
+        self.packing = self.policy.packing
         #: Optional memory-aware admission gate: called with a FuncVec before
         #: it moves from the waiting queue to the processing list; returning
         #: False keeps it (and everything behind it) waiting.  Lets the
@@ -164,24 +169,16 @@ class LigerScheduler:
         primary = self.processing[0]
 
         # --- collect kernels from the primary batch (lines 3–9) ---------
-        subset0: List[KernelFunc] = []
-        window = 0.0
-        kind = primary.head_kind()
-        while not primary.empty:
-            switches = primary.next_switches()
-            func = primary.pop()
-            window += func.duration
-            subset0.append(func)
-            if switches:
-                kind = func.kind
-                break
+        # Decision (b): the policy delimits the run and sizes the window.
+        subset0, window, kind = self.policy.collect_primary(primary)
+        primary_class = self.policy.resource_class(subset0[0])
 
-        # --- collect opposite-type kernels from subsequent batches ------
-        # (lines 10–20, plus §3.5 anticipation and §3.6 decomposition)
-        if self.packing == "best_fit":
-            subset1, fill = self._pack_best_fit(kind, window, record)
-        else:
-            subset1, fill = self._pack_first_fit(kind, window, record)
+        # --- collect eligible kernels from subsequent batches -----------
+        # (lines 10–20, plus §3.5 anticipation and §3.6 decomposition;
+        # decision (c): eligibility and packing belong to the policy)
+        subset1, fill = self.policy.pack_secondary(
+            self, primary_class, kind, window, record
+        )
 
         round_ = Round(
             index=self.rounds_planned,
@@ -190,131 +187,9 @@ class LigerScheduler:
             subset1=subset1,
             window=window,
             secondary_fill=fill,
+            primary_class=primary_class,
         )
-        round_.validate_principle1()
+        self.policy.validate_round(round_)
         self.rounds_planned += 1
         self._sweep_drained()
         return round_
-
-    # ------------------------------------------------------------------
-    # Secondary-subset packing policies
-    # ------------------------------------------------------------------
-    def _pack_first_fit(self, kind, window: float, record: Optional[List] = None):
-        """The paper's policy: walk subsequent batches in arrival order."""
-        subset1: List[KernelFunc] = []
-        fill = 0.0
-        remaining = window
-        for idx, fv in enumerate(self.processing[1:], start=1):
-            while remaining > 0 and not fv.empty:
-                nxt = fv.peek()
-                if nxt.same_type_as(kind):
-                    # Principle 1: same-type kernels must not interfere with
-                    # the primary batch; this batch is stuck until a later
-                    # round of the opposite kind.
-                    break
-                anticipated = self.anticipator.anticipated(nxt.duration, nxt.kind)
-                if anticipated <= remaining:
-                    fv.pop()
-                    subset1.append(nxt)
-                    if record is not None:
-                        record.append((idx, None))
-                    fill += anticipated
-                    remaining -= anticipated
-                    continue
-                # Too long: try runtime decomposition (§3.6).
-                split = None
-                if self.decomposer is not None:
-                    split = self.decomposer.split_to_fit(
-                        nxt,
-                        remaining,
-                        scale=self.anticipator.scale(nxt.kind),
-                    )
-                if split is None:
-                    remaining = 0.0  # window effectively unusable (line 15)
-                    break
-                piece, rest = split
-                fv.pop()
-                fv.push_front(rest)
-                subset1.append(piece)
-                if record is not None:
-                    record.append((idx, (piece, rest)))
-                anticipated_piece = self.anticipator.anticipated(
-                    piece.duration, piece.kind
-                )
-                fill += anticipated_piece
-                remaining -= anticipated_piece
-                break  # residual window is below the smallest division
-        return subset1, fill
-
-    def _pack_best_fit(self, kind, window: float, record: Optional[List] = None):
-        """Extension: greedy best-fit over eligible batch heads.
-
-        Only the *head* kernel of each subsequent batch is eligible (batch
-        order is a data dependency), so this is an online greedy: at each
-        step take the largest opposite-type head whose anticipated duration
-        fits the residual window; fall back to decomposing the largest head
-        when nothing fits whole.  Trades the paper's arrival-order fairness
-        for higher window fill.
-        """
-        subset1: List[KernelFunc] = []
-        fill = 0.0
-        remaining = window
-        while remaining > 0:
-            eligible = [
-                fv
-                for fv in self.processing[1:]
-                if not fv.empty and not fv.peek().same_type_as(kind)
-            ]
-            if not eligible:
-                break
-            fitting = [
-                fv
-                for fv in eligible
-                if self.anticipator.anticipated(
-                    fv.peek().duration, fv.peek().kind
-                )
-                <= remaining
-            ]
-            if fitting:
-                fv = max(
-                    fitting,
-                    key=lambda v: self.anticipator.anticipated(
-                        v.peek().duration, v.peek().kind
-                    ),
-                )
-                if record is not None:
-                    record.append((self.processing.index(fv), None))
-                func = fv.pop()
-                anticipated = self.anticipator.anticipated(func.duration, func.kind)
-                subset1.append(func)
-                fill += anticipated
-                remaining -= anticipated
-                continue
-            # Nothing fits whole: decompose the largest eligible head.
-            if self.decomposer is None:
-                break
-            best_split = None
-            best_fv = None
-            for fv in eligible:
-                split = self.decomposer.split_to_fit(
-                    fv.peek(), remaining, scale=self.anticipator.scale(fv.peek().kind)
-                )
-                if split is None:
-                    continue
-                if best_split is None or split[0].duration > best_split[0].duration:
-                    best_split = split
-                    best_fv = fv
-            if best_split is None:
-                break
-            piece, rest = best_split
-            assert best_fv is not None
-            if record is not None:
-                record.append((self.processing.index(best_fv), (piece, rest)))
-            best_fv.pop()
-            best_fv.push_front(rest)
-            subset1.append(piece)
-            anticipated_piece = self.anticipator.anticipated(piece.duration, piece.kind)
-            fill += anticipated_piece
-            remaining -= anticipated_piece
-            break  # residual window is below the smallest division
-        return subset1, fill

@@ -8,8 +8,10 @@ for both prefill ("general tasks") and KV-cache decode ("generative tasks").
 
 from repro.models.costs import CostBreakdown, KernelCostModel
 from repro.models.kvcache import decode_layer_ops, decode_step_ops
+from repro.models.moe import expert_capacity, moe_ffn_ops, moe_layer_ops
 from repro.models.ops import (
     OpDesc,
+    all_to_all_op,
     allreduce_op,
     attention_op,
     elementwise_op,
@@ -25,6 +27,7 @@ from repro.models.partition import (
 from repro.models.specs import (
     GLM_130B,
     MODELS,
+    MOE_16E,
     OPT_8B,
     OPT_13B,
     OPT_30B,
@@ -43,6 +46,7 @@ __all__ = [
     "OPT_66B",
     "OPT_175B",
     "GLM_130B",
+    "MOE_16E",
     "KernelCostModel",
     "CostBreakdown",
     "OpDesc",
@@ -50,8 +54,12 @@ __all__ = [
     "attention_op",
     "elementwise_op",
     "allreduce_op",
+    "all_to_all_op",
     "p2p_op",
     "layer_ops",
+    "moe_layer_ops",
+    "moe_ffn_ops",
+    "expert_capacity",
     "prefill_ops",
     "embed_ops",
     "lm_head_ops",

@@ -95,6 +95,12 @@ def decode_layer_ops(
     ]
     if tp > 1:
         ops.append(allreduce_op(f"allreduce_attn_L{layer}", layer, ar_bytes))
+    if model.is_moe:
+        # Routed FFN: one new token per request, expert parallelism = tp.
+        from repro.models.moe import moe_ffn_ops
+
+        ops += moe_ffn_ops(model, m, tp, layer)
+        return ops
     ops += [
         elementwise_op(f"ln2_L{layer}", layer, m * h),
         gemm_op(f"mlp_gemm1_L{layer}", layer, m, h, ffn_p, split_dim="n"),

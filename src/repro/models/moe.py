@@ -1,0 +1,161 @@
+"""Mixture-of-experts layers as per-device operator sequences.
+
+A MoE transformer layer keeps the Megatron attention block (tensor-parallel
+QKV / attention / output projection + all-reduce) but replaces the dense FFN
+with a routed expert bank.  Under **expert parallelism** of degree ``ep``
+(= the tensor-parallel degree here, the common TP+EP hybrid) each device
+hosts ``num_experts / ep`` experts and the layer exchanges tokens twice:
+
+====================== ============================= ======================
+op                     shape per device              notes
+====================== ============================= ======================
+post layernorm         m × h                         replicated
+router projection      (m, h, E)                     replicated gated GEMM
+**all-to-all dispatch** m·k/ep · h · 2 bytes         tokens → expert homes
+expert FFN up + GeLU   (cap, h, F·h) × E/ep          per local expert
+expert FFN down        (cap, F·h, h) × E/ep          per local expert
+**all-to-all combine**  m·k/ep · h · 2 bytes         outputs → token homes
+====================== ============================= ======================
+
+with ``m = batch × seq``, ``E = num_experts``, ``k = top_k`` and
+``cap = ⌈m·k/E⌉`` the per-expert token capacity under a balanced router.
+With ``ep == 1`` every expert is local: no exchanges, just the routed
+expert GEMMs — the no-overlap baseline the MoE example compares against.
+
+The communication-characterization literature identifies exactly these
+all-to-alls as the dominant cross-GPU pattern in MoE inference; the
+``expert_overlap`` scheduling policy (:mod:`repro.core.policy`) exists to
+hide them behind other batches' expert GEMMs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.errors import ConfigError, PartitionError
+from repro.models.ops import (
+    OpDesc,
+    all_to_all_op,
+    allreduce_op,
+    attention_op,
+    elementwise_op,
+    gemm_op,
+)
+from repro.models.specs import ModelSpec
+from repro.units import FP16_BYTES
+
+__all__ = ["moe_ffn_ops", "moe_layer_ops", "expert_capacity"]
+
+
+def expert_capacity(tokens: int, num_experts: int, top_k: int) -> int:
+    """Per-expert token capacity under a balanced top-k router."""
+    return max(1, math.ceil(tokens * top_k / num_experts))
+
+
+def validate_ep(model: ModelSpec, ep: int) -> None:
+    """Check the expert bank shards evenly over ``ep`` devices."""
+    if not model.is_moe:
+        raise ConfigError(f"{model.name}: not a MoE model (num_experts=0)")
+    if ep < 1:
+        raise PartitionError(f"ep must be >= 1, got {ep}")
+    if model.num_experts % ep != 0:
+        raise PartitionError(
+            f"{model.name}: {model.num_experts} experts not divisible by ep={ep}"
+        )
+
+
+def moe_ffn_ops(
+    model: ModelSpec,
+    tokens: int,
+    ep: int,
+    layer: int,
+) -> List[OpDesc]:
+    """The routed-FFN half of a MoE layer for ``tokens`` tokens on one device.
+
+    Emits post-layernorm, the router projection, the expert-parallel
+    dispatch/combine all-to-alls (``ep > 1`` only), and one gated FFN GEMM
+    pair per *local* expert at balanced capacity.
+    """
+    validate_ep(model, ep)
+    h = model.hidden_size
+    experts = model.num_experts
+    local_experts = experts // ep
+    cap = expert_capacity(tokens, experts, model.top_k)
+    ops: List[OpDesc] = [
+        elementwise_op(f"ln2_L{layer}", layer, tokens * h),
+        gemm_op(
+            f"router_gemm_L{layer}", layer, tokens, h, experts,
+            decomposable=False,
+        ),
+    ]
+    if ep > 1:
+        # Each rank scatters its share of the routed activations: tokens·k
+        # expert assignments, h hidden each, spread over ep ranks.
+        a2a_bytes = float(tokens * model.top_k * h * FP16_BYTES) / ep
+        ops.append(
+            all_to_all_op(f"a2a_dispatch_L{layer}", layer, a2a_bytes)
+        )
+    for e in range(local_experts):
+        ops += [
+            gemm_op(
+                f"expert{e}_gemm1_L{layer}", layer, cap, h, model.ffn_size,
+                split_dim="n",
+            ),
+            gemm_op(
+                f"expert{e}_gemm2_L{layer}", layer, cap, model.ffn_size, h,
+                split_dim="k",
+            ),
+        ]
+    if ep > 1:
+        a2a_bytes = float(tokens * model.top_k * h * FP16_BYTES) / ep
+        ops.append(
+            all_to_all_op(f"a2a_combine_L{layer}", layer, a2a_bytes)
+        )
+    return ops
+
+
+def moe_layer_ops(
+    model: ModelSpec,
+    batch: int,
+    seq: int,
+    tp: int,
+    layer: int,
+) -> List[OpDesc]:
+    """One full MoE transformer layer: TP attention block + routed FFN.
+
+    The attention half is the standard Megatron sequence (with its
+    all-reduce when ``tp > 1``); the FFN half is :func:`moe_ffn_ops` with
+    the expert-parallel degree equal to ``tp`` (the TP+EP hybrid).
+    """
+    if batch < 1:
+        raise ConfigError(f"batch must be >= 1, got {batch}")
+    if seq < 1:
+        raise ConfigError(f"seq must be >= 1, got {seq}")
+    model.validate_tp(tp)
+    m = batch * seq
+    h = model.hidden_size
+    hp = h // tp
+    heads_p = model.num_heads // tp
+    ops: List[OpDesc] = [
+        elementwise_op(f"ln1_L{layer}", layer, m * h),
+        gemm_op(f"qkv_gemm_L{layer}", layer, m, h, 3 * hp, split_dim="n"),
+        attention_op(
+            f"attention_L{layer}",
+            layer,
+            batch=batch,
+            q_len=seq,
+            ctx_len=seq,
+            heads=heads_p,
+            head_dim=model.head_dim,
+        ),
+        gemm_op(f"attn_out_gemm_L{layer}", layer, m, hp, h, split_dim="k"),
+    ]
+    if tp > 1:
+        ops.append(
+            allreduce_op(
+                f"allreduce_attn_L{layer}", layer, float(m * h * FP16_BYTES)
+            )
+        )
+    ops += moe_ffn_ops(model, m, tp, layer)
+    return ops

@@ -13,7 +13,8 @@ Ops come in a handful of flavours, selected by ``op``:
 * ``"elementwise"`` — layernorm / residual / activation fused kernels.
 * ``"embed"`` — embedding gather.
 * ``"kv_append"`` — KV-cache append during generative decoding.
-* ``"all_reduce"`` / ``"p2p"`` — collectives; ``comm_bytes`` is the payload.
+* ``"all_reduce"`` / ``"all_to_all"`` / ``"p2p"`` — collectives;
+  ``comm_bytes`` is the payload (per-rank for all-to-all).
 """
 
 from __future__ import annotations
@@ -24,7 +25,15 @@ from typing import Optional, Tuple
 from repro.errors import ConfigError
 from repro.sim.kernel import KernelKind
 
-__all__ = ["OpDesc", "gemm_op", "attention_op", "elementwise_op", "allreduce_op", "p2p_op"]
+__all__ = [
+    "OpDesc",
+    "gemm_op",
+    "attention_op",
+    "elementwise_op",
+    "allreduce_op",
+    "all_to_all_op",
+    "p2p_op",
+]
 
 
 @dataclass(frozen=True)
@@ -75,7 +84,7 @@ class OpDesc:
         elif self.op in ("elementwise", "embed", "kv_append"):
             if self.elems <= 0:
                 raise ConfigError(f"{self.name}: {self.op} needs positive elems")
-        elif self.op in ("all_reduce", "p2p"):
+        elif self.op in ("all_reduce", "all_to_all", "p2p"):
             if self.kind is not KernelKind.COMM:
                 raise ConfigError(f"{self.name}: collectives must be COMM kind")
             if self.comm_bytes < 0:
@@ -171,6 +180,25 @@ def allreduce_op(name: str, layer: int, comm_bytes: float, *, decomposable: bool
     return OpDesc(
         name=name,
         op="all_reduce",
+        kind=KernelKind.COMM,
+        layer=layer,
+        comm_bytes=comm_bytes,
+        decomposable=decomposable,
+    )
+
+
+def all_to_all_op(
+    name: str, layer: int, comm_bytes: float, *, decomposable: bool = True
+) -> OpDesc:
+    """An expert-parallel all-to-all exchange of ``comm_bytes`` per device.
+
+    MoE layers issue one for token dispatch (routing tokens to the devices
+    hosting their selected experts) and one for combine (routing expert
+    outputs back); the payload is the per-rank scatter buffer.
+    """
+    return OpDesc(
+        name=name,
+        op="all_to_all",
         kind=KernelKind.COMM,
         layer=layer,
         comm_bytes=comm_bytes,

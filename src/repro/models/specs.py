@@ -35,6 +35,7 @@ __all__ = [
     "OPT_66B",
     "OPT_175B",
     "GLM_130B",
+    "MOE_16E",
     "MODELS",
 ]
 
@@ -56,6 +57,13 @@ class ModelSpec:
     weight_bytes:
         FP16 parameter footprint in bytes.  Taken from Table 1 where the
         paper specifies it; otherwise ``2 × approx_params``.
+    num_experts:
+        Mixture-of-experts width: number of FFN experts per layer.  0 (the
+        default) means a dense FFN; MoE specs replace the dense FFN with
+        ``num_experts`` expert FFNs plus a router and, under expert
+        parallelism, all-to-all dispatch/combine exchanges.
+    top_k:
+        Experts activated per token (standard top-2 routing by default).
     """
 
     name: str
@@ -65,6 +73,8 @@ class ModelSpec:
     ffn_multiplier: int = 4
     vocab_size: int = 51200
     weight_bytes: float = 0.0
+    num_experts: int = 0
+    top_k: int = 2
 
     def __post_init__(self) -> None:
         if self.num_layers < 1 or self.num_heads < 1 or self.hidden_size < 1:
@@ -73,6 +83,13 @@ class ModelSpec:
             raise ConfigError(
                 f"{self.name}: hidden_size {self.hidden_size} not divisible "
                 f"by num_heads {self.num_heads}"
+            )
+        if self.num_experts < 0:
+            raise ConfigError(f"{self.name}: num_experts must be >= 0")
+        if self.num_experts > 0 and not 1 <= self.top_k <= self.num_experts:
+            raise ConfigError(
+                f"{self.name}: top_k {self.top_k} must be in "
+                f"[1, num_experts={self.num_experts}]"
             )
         if self.weight_bytes <= 0:
             object.__setattr__(
@@ -91,15 +108,27 @@ class ModelSpec:
         return self.hidden_size * self.ffn_multiplier
 
     @property
+    def is_moe(self) -> bool:
+        """Whether the FFN block is a mixture of experts."""
+        return self.num_experts > 0
+
+    @property
     def approx_params(self) -> int:
         """Approximate parameter count from the architecture.
 
         Per layer: QKV (3h²) + output projection (h²) + two FFN matmuls
-        (2·4h²) = 12h²; plus embeddings (vocab·h).
+        (2·Fh² with F = ffn_multiplier) = (4 + 2F)h²; plus embeddings
+        (vocab·h).  MoE layers replicate the FFN pair per expert and add
+        the router projection (E·h).
         """
-        per_layer = 12 * self.hidden_size**2
+        attn = 4 * self.hidden_size**2
+        ffn_pair = 2 * self.ffn_multiplier * self.hidden_size**2
+        if self.is_moe:
+            ffn = self.num_experts * ffn_pair + self.num_experts * self.hidden_size
+        else:
+            ffn = ffn_pair
         embed = self.vocab_size * self.hidden_size
-        return self.num_layers * per_layer + embed
+        return self.num_layers * (attn + ffn) + embed
 
     # ------------------------------------------------------------------
     def validate_tp(self, tp: int) -> None:
@@ -159,6 +188,8 @@ class ModelSpec:
             ffn_multiplier=self.ffn_multiplier,
             vocab_size=self.vocab_size,
             weight_bytes=self.weight_bytes * frac,
+            num_experts=self.num_experts,
+            top_k=self.top_k,
         )
 
 
@@ -200,7 +231,21 @@ OPT_175B = ModelSpec(
     name="OPT-175B", num_layers=96, num_heads=96, hidden_size=12288, weight_bytes=GB(350.0)
 )
 
+# ----------------------------------------------------------------------
+# Mixture-of-experts companion (Mixtral-class 16-expert top-2 config)
+# ----------------------------------------------------------------------
+
+MOE_16E = ModelSpec(
+    name="MoE-16E",
+    num_layers=32,
+    num_heads=32,
+    hidden_size=4096,
+    num_experts=16,
+    top_k=2,
+)
+
 #: All named models, keyed by name.
 MODELS: Dict[str, ModelSpec] = {
-    m.name: m for m in (OPT_8B, OPT_13B, OPT_30B, OPT_66B, GLM_130B, OPT_175B)
+    m.name: m
+    for m in (OPT_8B, OPT_13B, OPT_30B, OPT_66B, GLM_130B, OPT_175B, MOE_16E)
 }

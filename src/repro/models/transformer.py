@@ -51,6 +51,12 @@ def layer_ops(
     layer: int,
 ) -> List[OpDesc]:
     """The fused kernel sequence of one transformer layer on one device."""
+    if model.is_moe:
+        # Routed-FFN layers live in repro.models.moe (imported lazily to
+        # keep the dense path's import graph unchanged).
+        from repro.models.moe import moe_layer_ops
+
+        return moe_layer_ops(model, batch, seq, tp, layer)
     _validate(model, batch, seq, tp)
     m = batch * seq
     h = model.hidden_size

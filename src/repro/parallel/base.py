@@ -44,13 +44,24 @@ def instantiate_op(
     """Materialise one op as simulator kernels, one per participating GPU.
 
     Compute-like ops become independent per-GPU kernel clones (each device
-    executes its shard); ``all_reduce`` becomes a rendezvous collective over
-    ``gpus``; ``p2p`` becomes a two-member collective over its endpoints.
+    executes its shard); ``all_reduce`` / ``all_to_all`` become rendezvous
+    collectives over ``gpus``; ``p2p`` becomes a two-member collective over
+    its endpoints.
     """
     if not gpus:
         raise ConfigError(f"op {op.name}: no target GPUs")
     if op.op == "all_reduce":
         coll = profiler.collectives.make_allreduce(
+            op.comm_bytes,
+            gpus,
+            batch_id=batch_id,
+            layer=op.layer,
+            name=f"{op.name}_b{batch_id}",
+            op=op.op,
+        )
+        return dict(coll.members)
+    if op.op == "all_to_all":
+        coll = profiler.collectives.make_all_to_all(
             op.comm_bytes,
             gpus,
             batch_id=batch_id,

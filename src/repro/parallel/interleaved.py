@@ -175,4 +175,36 @@ class InterleavedStrategy(ParallelStrategy):
                 plan_cache_entries=len(cache),
                 plan_build_seconds=cache.build_seconds,
             )
+            # Per-policy split: the policy id is a cache-key dimension, so
+            # aggregate counters alone can't attribute misses to a policy.
+            for pid in sorted(set(cache.per_policy) | {cache.policy_id}):
+                row = cache.per_policy.get(pid, {})
+                for counter in ("hits", "misses", "evictions", "uncacheable"):
+                    out[f"plan_cache_{pid}_{counter}"] = row.get(counter, 0)
+        return out
+
+    def perf_gauge_help(self) -> dict:
+        """Help text for the strategy-specific (per-policy) perf gauges.
+
+        The serving session merges these with its static gauge table — the
+        keys are dynamic (they embed the policy id) so they can't live in a
+        class-level constant there.
+        """
+        if self.runtime is None or self.runtime.plan_cache is None:
+            return {}
+        cache = self.runtime.plan_cache
+        out = {}
+        for pid in sorted(set(cache.per_policy) | {cache.policy_id}):
+            out[f"plan_cache_{pid}_hits"] = (
+                f"Schedule-plan cache hits under the {pid} policy."
+            )
+            out[f"plan_cache_{pid}_misses"] = (
+                f"Schedule-plan cache misses under the {pid} policy."
+            )
+            out[f"plan_cache_{pid}_evictions"] = (
+                f"Schedule-plan cache evictions under the {pid} policy."
+            )
+            out[f"plan_cache_{pid}_uncacheable"] = (
+                f"Unfingerprintable planning calls under the {pid} policy."
+            )
         return out

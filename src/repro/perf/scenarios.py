@@ -220,6 +220,41 @@ def _build_obs_overhead(scale: str, cache_on: bool):
     return srv, jobs
 
 
+def _build_moe_prefill(scale: str, cache_on: bool):
+    """MoE expert-parallel prefill: expert overlap vs no overlap.
+
+    Like ``obs_overhead``, both arms keep every cache on; the toggled unit
+    is cross-batch interleaving itself.  The ``True`` arm serves with the
+    ``expert_overlap`` policy and a deep processing list; the ``False``
+    arm pins ``max_inflight=1`` — one batch in flight, so dispatch/combine
+    all-to-alls have nothing to hide behind (the Intra-Op regime).  The
+    ``sim_s`` gap between the arms is the makespan reduction expert
+    overlap buys; ``speedup`` stays the host-time ratio like every cell.
+    """
+    from repro.hw import v100_nvlink_node
+    from repro.models import MOE_16E
+    from repro.serving.api import make_strategy
+    from repro.serving.server import Server
+    from repro.serving.workload import general_trace
+
+    _reset_batch_ids()
+    layers = 4 if scale == "full" else 2
+    model = MOE_16E.scaled_layers(layers)
+    node = v100_nvlink_node(4)
+    cfg = ablation_config(
+        True,  # caches stay on in BOTH arms; overlap is the toggled unit
+        policy="expert_overlap",
+        max_inflight=(_STEADY_INFLIGHT if cache_on else 1),
+    )
+    strat = make_strategy("liger", model, node, config=cfg)
+    # The rate must outrun service so batches pile into the processing
+    # list — with nothing queued, both arms degenerate to intra-op.
+    n = 48 if scale == "full" else 12
+    batches = general_trace(n, 2000.0, 2, seed=0)
+    srv = Server(model, node, strat, record_trace=False, check_memory=False)
+    return srv, batches
+
+
 # ----------------------------------------------------------------------
 # Table-1 matrix cells
 # ----------------------------------------------------------------------
@@ -300,6 +335,15 @@ def _all_scenarios() -> Dict[str, PerfScenario]:
                 "continuous-batching server"
             ),
             build=_build_bursty_overload,
+            ablate=True,
+        ),
+        PerfScenario(
+            name="moe_prefill",
+            description=(
+                "16-expert MoE prefill under expert parallelism: "
+                "expert_overlap policy vs single-batch no-overlap serving"
+            ),
+            build=_build_moe_prefill,
             ablate=True,
         ),
         PerfScenario(

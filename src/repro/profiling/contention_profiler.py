@@ -97,7 +97,9 @@ class ContentionProfiler:
         for b in batch_sizes:
             for s in seq_lens:
                 ops = layer_ops(model, b, s, tp, layer=0)
-                comms = [o for o in ops if o.is_comm]
+                # Pairs are GEMM × ring all-reduce (§3.5); MoE layers also
+                # carry all-to-alls, which measure_pair does not co-run.
+                comms = [o for o in ops if o.op == "all_reduce"]
                 gemms = sorted(
                     (o for o in ops if o.op == "gemm"),
                     key=self.profiler.duration,

@@ -52,6 +52,8 @@ def op_key(op: OpDesc) -> Tuple:
         return (op.op, op.elems, op.rw_factor)
     if op.op == "all_reduce":
         return ("all_reduce", op.comm_bytes)
+    if op.op == "all_to_all":
+        return ("all_to_all", op.comm_bytes)
     if op.op == "p2p":
         return ("p2p", op.comm_bytes, op.p2p_src, op.p2p_dst)
     raise ConfigError(f"unknown op flavour {op.op!r}")
@@ -110,6 +112,8 @@ class OpProfiler:
             return hit
         if op.op == "all_reduce":
             value = self.collectives.allreduce_duration(op.comm_bytes, self.participants)
+        elif op.op == "all_to_all":
+            value = self.collectives.alltoall_duration(op.comm_bytes, self.participants)
         elif op.op == "p2p":
             value = self.collectives.p2p_duration(op.comm_bytes, op.p2p_src, op.p2p_dst)
         else:
@@ -125,8 +129,12 @@ class OpProfiler:
             if hit is not None:
                 return hit
         if op.is_comm:
-            value = self.nccl.occupancy if op.op == "all_reduce" else min(
-                self.nccl.occupancy, 0.04
+            # Ring and all-to-all collectives carry the full NCCL channel
+            # footprint; p2p copies ride the copy engines.
+            value = (
+                self.nccl.occupancy
+                if op.op in ("all_reduce", "all_to_all")
+                else min(self.nccl.occupancy, 0.04)
             )
         else:
             value = self.cost_model.occupancy(op)
@@ -169,6 +177,11 @@ class OpProfiler:
         )
         if op.op == "all_reduce":
             coll = self.collectives.make_allreduce(op.comm_bytes, self.participants)
+            for gpu in self.participants:
+                stream = machine.gpu(gpu).stream("profile")
+                machine.launch(stream, coll.members[gpu], available_at=0.0)
+        elif op.op == "all_to_all":
+            coll = self.collectives.make_all_to_all(op.comm_bytes, self.participants)
             for gpu in self.participants:
                 stream = machine.gpu(gpu).stream("profile")
                 machine.launch(stream, coll.members[gpu], available_at=0.0)

@@ -60,12 +60,32 @@ def make_strategy(
     node: NodeSpec,
     *,
     profiler: Optional[OpProfiler] = None,
+    policy: Optional[str] = None,
     **kwargs,
 ) -> ParallelStrategy:
-    """Instantiate a strategy by name."""
+    """Instantiate a strategy by name.
+
+    ``policy`` selects the Liger operator-scheduling policy (see
+    :mod:`repro.core.policy`); it applies to ``"liger"`` only and merges
+    into the strategy's :class:`~repro.core.config.LigerConfig` (so it can
+    be combined with an explicit ``config=`` keyword).
+    """
     registry = _strategy_registry()
     if name not in registry:
         raise ConfigError(f"unknown strategy {name!r}; choose from {STRATEGIES}")
+    if policy is not None:
+        if name != "liger":
+            raise ConfigError(
+                f"policy={policy!r} selects a Liger scheduling policy; "
+                f"strategy {name!r} does not schedule with policies"
+            )
+        from repro.core.config import LigerConfig
+
+        config = kwargs.get("config")
+        if config is None:
+            kwargs["config"] = LigerConfig(policy=policy)
+        else:
+            kwargs["config"] = dataclasses.replace(config, policy=policy)
     if profiler is None and name != "liger":
         # Baselines profile with NCCL library defaults.  Liger builds its
         # own profiler so its config governs the reduced NCCL footprint
@@ -84,6 +104,7 @@ def serve(
     num_requests: int = 64,
     batch_size: int = 2,
     workload: str = "general",
+    policy: Optional[str] = None,
     seq_range: Tuple[int, int] = (16, 128),
     context_len: int = 16,
     seed: int = 0,
@@ -102,6 +123,10 @@ def serve(
     Parameters mirror the paper's experimental setup: ``workload="general"``
     gives the §4.2 random traces (seq 16–128), ``workload="generative"`` the
     §4.3 decode steps (context 16, batch 32 by default).
+
+    ``policy`` picks the Liger operator-scheduling policy (see
+    :func:`~repro.core.policy.policy_names`); ``None`` keeps the strategy's
+    configured default, and non-``"liger"`` strategies reject it.
 
     ``config`` (a :class:`~repro.serving.session.ServingConfig`) bundles the
     cross-cutting subsystems in one object; it is mutually exclusive with
@@ -142,7 +167,7 @@ def serve(
             overload = dataclasses.replace(
                 overload, default_deadline_us=deadline_us
             )
-    strat = make_strategy(strategy, model, node, **strategy_kwargs)
+    strat = make_strategy(strategy, model, node, policy=policy, **strategy_kwargs)
     if workload == "general":
         batches = general_trace(
             num_requests, arrival_rate, batch_size, seq_range=seq_range, seed=seed

@@ -586,7 +586,13 @@ class ServingSession:
         def _reader(key: str) -> Callable[[], float]:
             return lambda: float(counters().get(key, 0.0))
 
-        for key, help_text in self._PERF_GAUGE_HELP.items():
+        gauges = dict(self._PERF_GAUGE_HELP)
+        # Strategy-specific gauges with dynamic keys (e.g. the per-policy
+        # plan-cache split, whose names embed the scheduling-policy id).
+        extra = getattr(self.strategy, "perf_gauge_help", None)
+        if extra is not None:
+            gauges.update(extra())
+        for key, help_text in gauges.items():
             obs.register_gauge(f"repro_perf_{key}", help_text, _reader(key))
 
     # ------------------------------------------------------------------

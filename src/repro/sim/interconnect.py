@@ -127,6 +127,31 @@ class CollectiveCostModel:
         transfer_us = (2.0 * (p - 1) / p) * size_bytes / bw * 1e6
         return self.nccl.min_latency + steps * hop_latency + transfer_us
 
+    def alltoall_duration(
+        self, size_bytes: float, participants: Sequence[int]
+    ) -> float:
+        """All-to-all personalized exchange duration (µs).
+
+        ``size_bytes`` is the per-rank payload: each rank scatters
+        ``(p−1)/p · S`` of its buffer to peers in ``p−1`` pipelined steps,
+        so relative to ring all-reduce the transfer and latency terms are
+        halved (one pass instead of reduce-scatter + all-gather).
+        """
+        if size_bytes < 0:
+            raise ConfigError("alltoall size must be >= 0")
+        p = len(participants)
+        if p <= 1:
+            return 0.0
+        bw = (
+            self.topology.allreduce_bus_bandwidth
+            * self.nccl.bandwidth_fraction
+            * self._link_health()
+        )
+        hop_latency = self._ring_hop_latency(participants)
+        steps = p - 1
+        transfer_us = ((p - 1) / p) * size_bytes / bw * 1e6
+        return self.nccl.min_latency + steps * hop_latency + transfer_us
+
     def p2p_duration(self, size_bytes: float, src: int, dst: int) -> float:
         """Point-to-point transfer duration (µs)."""
         if size_bytes < 0:
@@ -172,6 +197,36 @@ class CollectiveCostModel:
             duration=duration,
             batch_id=batch_id,
             name=name or f"allreduce_L{layer}_b{batch_id}",
+        )
+        for gpu in participants:
+            coll.make_member(
+                gpu,
+                occupancy=self.nccl.occupancy,
+                memory_intensity=self._comm_memory_intensity(size_bytes),
+                layer=layer,
+                op=op,
+            )
+        return coll
+
+    def make_all_to_all(
+        self,
+        size_bytes: float,
+        participants: Sequence[int],
+        *,
+        batch_id: int = -1,
+        layer: int = -1,
+        name: str = "",
+        op: str = "all_to_all",
+    ) -> CollectiveOp:
+        """Build an all-to-all :class:`CollectiveOp` with one member per rank."""
+        duration = self.alltoall_duration(size_bytes, participants)
+        coll = CollectiveOp(
+            kind=CollectiveKind.ALL_TO_ALL,
+            bytes=size_bytes,
+            participants=list(participants),
+            duration=duration,
+            batch_id=batch_id,
+            name=name or f"alltoall_L{layer}_b{batch_id}",
         )
         for gpu in participants:
             coll.make_member(

@@ -61,6 +61,7 @@ class CollectiveKind(enum.Enum):
     P2P = "p2p"
     ALL_GATHER = "all_gather"
     REDUCE_SCATTER = "reduce_scatter"
+    ALL_TO_ALL = "all_to_all"
 
 
 @dataclass(slots=True)

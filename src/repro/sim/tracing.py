@@ -36,6 +36,10 @@ class TraceRow:
     start: float
     end: float
     noload_duration: float
+    #: Scheduling provenance, set when the Liger runtime launched the kernel
+    #: under a policy with tracing armed ("" for baseline/profile kernels).
+    policy: str = ""
+    resource_class: str = ""
 
     @property
     def duration(self) -> float:
@@ -78,6 +82,8 @@ class Trace:
                 start=rs.start_at,
                 end=end,
                 noload_duration=k.duration,
+                policy=k.meta.get("_policy", ""),
+                resource_class=k.meta.get("_rclass", ""),
             )
         )
 
@@ -163,6 +169,16 @@ class Trace:
         """
         events = []
         for r in self.rows:
+            args = {
+                "batch": r.batch_id,
+                "layer": r.layer,
+                "op": r.op,
+                "queueing_delay_us": r.queueing_delay,
+                "slowdown": r.slowdown,
+            }
+            if r.policy:
+                args["policy"] = r.policy
+                args["resource_class"] = r.resource_class
             events.append(
                 {
                     "name": r.name,
@@ -172,13 +188,7 @@ class Trace:
                     "dur": r.duration,
                     "pid": f"gpu{r.gpu}",
                     "tid": r.stream,
-                    "args": {
-                        "batch": r.batch_id,
-                        "layer": r.layer,
-                        "op": r.op,
-                        "queueing_delay_us": r.queueing_delay,
-                        "slowdown": r.slowdown,
-                    },
+                    "args": args,
                 }
             )
         return events

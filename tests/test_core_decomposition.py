@@ -9,13 +9,14 @@ from hypothesis import strategies as st
 from repro.core.assembly import KernelFunc
 from repro.core.decomposition import (
     DecompositionPlanner,
+    split_all_to_all,
     split_allreduce,
     split_gemm_horizontal,
     split_gemm_vertical,
 )
 from repro.errors import ConfigError
 from repro.hw import v100_nvlink_node
-from repro.models.ops import allreduce_op, attention_op, gemm_op
+from repro.models.ops import all_to_all_op, allreduce_op, attention_op, gemm_op
 from repro.profiling import OpProfiler
 from repro.sim.kernel import KernelKind
 
@@ -161,6 +162,80 @@ class TestPlanner:
         planner = DecompositionPlanner(profiler, 8)
         f = kfunc(gemm_op("g", 0, 2, 4, 4), profiler)
         assert not planner.can_decompose(f)
+
+
+class TestSplitToFitEdges:
+    """Edge coverage for split_to_fit / can_decompose (satellite)."""
+
+    def test_division_factor_one_split_returns_none(self, profiler):
+        # d = 1 admits no fractions at all, even with an infinite window.
+        planner = DecompositionPlanner(profiler, 1)
+        f = kfunc(gemm_op("g", 0, 144, 7168, 28672), profiler)
+        assert planner.split_to_fit(f, 1e12) is None
+
+    def test_unregistered_flavour_is_indivisible(self, profiler):
+        # all_to_all is NOT in the default rule set (expert_overlap
+        # registers it); the planner must refuse, not crash.
+        planner = DecompositionPlanner(profiler, 8)
+        f = kfunc(all_to_all_op("a2a", 0, 8e6), profiler)
+        assert planner.split_rule("all_to_all") is None
+        assert not planner.can_decompose(f)
+        assert planner.split_to_fit(f, 1e12) is None
+
+    def test_register_split_rule_enables_flavour(self, profiler):
+        planner = DecompositionPlanner(profiler, 8)
+        planner.register_split_rule("all_to_all", split_all_to_all)
+        f = kfunc(all_to_all_op("a2a", 0, 8e6), profiler)
+        assert planner.split_rule("all_to_all") is split_all_to_all
+        assert planner.can_decompose(f)
+        window = profiler.duration(f.op) * 0.6
+        result = planner.split_to_fit(f, window)
+        assert result is not None
+        piece, rest = result
+        assert piece.duration <= window
+        assert ".c" in piece.op.name and rest.op.name.endswith(".rest")
+        assert piece.op.comm_bytes + rest.op.comm_bytes == pytest.approx(8e6)
+
+    def test_expert_overlap_policy_registers_all_to_all(self, profiler):
+        from repro.core.policy import ExpertOverlapPolicy
+
+        planner = DecompositionPlanner(profiler, 8)
+        ExpertOverlapPolicy().configure_decomposer(planner)
+        assert planner.split_rule("all_to_all") is split_all_to_all
+
+    def test_zero_byte_collective_is_indivisible(self, profiler):
+        planner = DecompositionPlanner(profiler, 8)
+        planner.register_split_rule("all_to_all", split_all_to_all)
+        f = kfunc(all_to_all_op("a2a", 0, 0.0), profiler)
+        assert not planner.can_decompose(f)
+        assert planner.split_to_fit(f, 1e12) is None
+
+    def test_empty_remainder_error_message(self):
+        # A 1-column GEMM cannot leave a non-empty rest: clear error.
+        op = gemm_op("g1", 0, 4, 4, 1)
+        with pytest.raises(ConfigError, match=r"g1: vertical split leaves empty remainder"):
+            split_gemm_vertical(op, 1, 2)
+        with pytest.raises(ConfigError, match=r"g2: horizontal split leaves empty remainder"):
+            split_gemm_horizontal(gemm_op("g2", 0, 1, 4, 4), 1, 2)
+
+    def test_degenerate_collective_split_error_messages(self):
+        with pytest.raises(ConfigError, match=r"ar: degenerate all-reduce split"):
+            split_allreduce(allreduce_op("ar", 0, 0.0), 1, 2)
+        with pytest.raises(ConfigError, match=r"a2a: degenerate all-to-all split"):
+            split_all_to_all(all_to_all_op("a2a", 0, 0.0), 1, 2)
+
+    def test_all_to_all_invalid_fraction_message(self):
+        op = all_to_all_op("a2a", 0, 8e6)
+        with pytest.raises(ConfigError, match=r"invalid decomposition fraction 2/2"):
+            split_all_to_all(op, 2, 2)
+
+    def test_remainder_smaller_than_smallest_division_stops(self, profiler):
+        # Window below the 1/d piece: None, and the kernel is untouched.
+        planner = DecompositionPlanner(profiler, 4)
+        op = allreduce_op("ar", 0, 8e6)
+        f = kfunc(op, profiler)
+        smallest = profiler.duration(split_allreduce(op, 1, 4)[0])
+        assert planner.split_to_fit(f, smallest * 0.5) is None
 
 
 @given(
