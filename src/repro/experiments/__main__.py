@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments                 # every figure, quick scale
     python -m repro.experiments fig10 --scale full
     python -m repro.experiments table1 fig3 fig13
+    python -m repro.experiments --workers 4     # figures across 4 processes
 """
 
 from __future__ import annotations
@@ -33,12 +34,36 @@ def main(argv=None) -> int:
         default="quick",
         help="experiment size (smoke: seconds; quick: default; full: paper grid)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fan figures across N worker processes (0 = in-process)",
+    )
     args = parser.parse_args(argv)
 
     names = args.figures or list(ALL_FIGURES)
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
         parser.error(f"unknown figure(s): {', '.join(unknown)}")
+
+    if args.workers > 0:
+        # Figures fan out like perf scenarios: every figure reseeds its own
+        # workloads, and results print in request order, so the output text
+        # matches a sequential run.
+        from repro.perf.fanout import _figure_task, fanout_map
+
+        start = time.time()
+        results = fanout_map(
+            _figure_task,
+            [(name, args.scale) for name in names],
+            args.workers,
+        )
+        elapsed = time.time() - start
+        for figure, title, text in results:
+            print(f"\n=== {figure}: {title} [fanned out] ===")
+            print(text)
+        print(f"\n{len(results)} figure(s) in {elapsed:.1f}s across "
+              f"{min(args.workers, len(names))} workers")
+        return 0
 
     for name in names:
         start = time.time()

@@ -13,6 +13,7 @@ ceiling — the paper's central claim.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional
 
 from repro.core.assembly import FunctionAssembler
@@ -165,6 +166,18 @@ class InterleavedStrategy(ParallelStrategy):
             "assembly_cache_evictions": assembler.cache_evictions,
             "assembly_build_seconds": assembler.build_seconds,
         }
+        timeline = self.runtime.timeline
+        if timeline is not None:
+            out.update(
+                timeline_builds=timeline.timeline_builds,
+                timeline_replays=timeline.timeline_replays,
+                timeline_bails=timeline.timeline_bails,
+                batched_events=timeline.batched_events,
+            )
+        # Fan-out workers: set by repro.perf.fanout in worker processes so
+        # merged BENCH cells record which parallelism produced them (0 =
+        # in-process sequential run).
+        out["fanout_workers"] = int(os.environ.get("LIGER_FANOUT_WORKERS", 0))
         cache = self.runtime.plan_cache
         if cache is not None:
             out.update(

@@ -5,13 +5,17 @@ Usage::
     python -m repro perf                          # smoke scale, print only
     python -m repro perf --scale full --out BENCH_5.json
     python -m repro perf --scenario steady_decode --repeats 7
-    python -m repro perf --check BENCH_5.json     # CI regression gate
+    python -m repro perf --check BENCH_10.json    # CI regression gate
+    python -m repro perf --workers 4              # multiprocess fan-out
 
 ``--out`` merges the run into the per-scale sections of the baseline file
 (so a smoke run never clobbers the committed full-scale numbers), and
 ``--check`` compares this run's events/sec against the matching scale
 section, exiting 1 on a >20% regression (``LIGER_PERF_TOLERANCE``
-overrides the threshold).
+overrides the threshold).  ``--workers N`` fans scenarios across N
+processes (:mod:`repro.perf.fanout`): deterministic fields merge
+byte-identically with a sequential run, wall times reflect whatever cores
+were free.
 """
 
 from __future__ import annotations
@@ -72,21 +76,36 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out", metavar="PATH",
-        help="merge results into this baseline file (e.g. BENCH_5.json)",
+        help="merge results into this baseline file (e.g. BENCH_10.json)",
     )
     parser.add_argument(
         "--check", metavar="PATH",
         help="fail (exit 1) on events/sec regression vs this baseline",
     )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fan scenarios across N worker processes (0 = in-process)",
+    )
     args = parser.parse_args(argv)
 
     try:
-        doc = run_suite(
-            args.scale,
-            only=args.scenario,
-            repeats=args.repeats,
-            progress=lambda name: print(f"· {name}", file=sys.stderr),
-        )
+        if args.workers > 0:
+            from repro.perf.fanout import run_suite_fanout
+
+            doc = run_suite_fanout(
+                args.scale,
+                workers=args.workers,
+                only=args.scenario,
+                repeats=args.repeats,
+                progress=lambda name: print(f"· {name}", file=sys.stderr),
+            )
+        else:
+            doc = run_suite(
+                args.scale,
+                only=args.scenario,
+                repeats=args.repeats,
+                progress=lambda name: print(f"· {name}", file=sys.stderr),
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

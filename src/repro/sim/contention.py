@@ -25,12 +25,26 @@ overlap — the failure mode Liger's Principle 1 exists to avoid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List
 
 from repro.errors import ConfigError
 from repro.sim.kernel import Kernel
 
+try:  # pragma: no cover - the container bakes numpy into the toolchain
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = ["ContentionModel", "NullContention", "DefaultContention", "default_contention_for"]
+
+#: Resident-set size past which the final elementwise combine runs on numpy
+#: arrays.  Gathering attributes into arrays has fixed cost, so the common
+#: small sets stay scalar; both branches are bit-identical because only
+#: elementwise IEEE ops are vectorized — every *reduction* keeps Python's
+#: sequential left-to-right association (numpy's pairwise summation would
+#: associate differently and drift in the last ULPs, which the golden
+#: traces pin).
+_VECTOR_MIN_RESIDENT = 8
 
 
 class ContentionModel:
@@ -115,35 +129,79 @@ class DefaultContention(ContentionModel):
 
     def slowdowns(self, resident: Iterable[Kernel]) -> Dict[int, float]:
         kernels = list(resident)
-        if len(kernels) <= 1:
+        n = len(kernels)
+        if n <= 1:
             return {k.uid: 1.0 for k in kernels}
 
+        # Shared reductions, hoisted out of the per-kernel loop.  Each is
+        # the sequential left-to-right sum over the resident order — the
+        # association the per-kernel generator sums used to produce, which
+        # must not change (reduction order is observable in the last ULP).
+        # ``is_compute_like`` is the exact complement of ``is_comm``, so a
+        # kernel never contributes to (or is excluded from) both classes.
         total_mem = sum(k.memory_intensity for k in kernels)
         mem_overcommit = max(0.0, total_mem - 1.0)
+        mem_scale = self.memory_pressure * mem_overcommit
 
-        out: Dict[int, float] = {}
+        comp_occ: List[float] = []
+        n_comm = 0
+        comm_sum = 0.0
         for k in kernels:
-            others = [o for o in kernels if o.uid != k.uid]
-            slow = 1.0
             if k.kind.is_comm:
-                compute_occ = sum(
-                    o.occupancy for o in others if o.kind.is_compute_like
-                )
-                slow += self.compute_on_comm * compute_occ
-                slow += self.same_kind_comm * sum(
-                    1.0 for o in others if o.kind.is_comm
-                )
+                comm_sum += k.occupancy
+                n_comm += 1
             else:
-                comm_occ = sum(o.occupancy for o in others if o.kind.is_comm)
-                slow += self.comm_on_compute * comm_occ
-                slow += self.same_kind_compute * sum(
-                    o.occupancy for o in others if o.kind.is_compute_like
-                )
-            # Shared HBM pressure applies to everyone, scaled by how much of
-            # the bandwidth the kernel itself needs.
-            slow += self.memory_pressure * mem_overcommit * k.memory_intensity
-            out[k.uid] = slow
-        return out
+                comp_occ.append(k.occupancy)
+        comp_sum = sum(comp_occ)
+        # A comm kernel sees every compute kernel (no self to exclude) and
+        # the other comm kernels; the counterpart holds for compute kernels.
+        base_comm = (
+            1.0 + self.compute_on_comm * comp_sum
+        ) + self.same_kind_comm * float(n_comm - 1)
+        base_comp = 1.0 + self.comm_on_compute * comm_sum
+
+        # Compute-on-compute is the one genuinely per-kernel reduction: the
+        # sequential sum over the *other* compute kernels restarts at a
+        # different element for every kernel, so the chains share no
+        # partial sums.  O(c²) over the co-resident compute kernels —
+        # small, since Principle 1 exists to avoid stacking compute.
+        skc = self.same_kind_compute
+        c = len(comp_occ)
+        excl: List[float] = []
+        if c > 1:
+            for j in range(c):
+                s = 0.0
+                for i in range(c):
+                    if i != j:
+                        s += comp_occ[i]
+                excl.append(base_comp + skc * s)
+        elif c == 1:
+            excl.append(base_comp + skc * 0.0)
+
+        # Per-kernel slowdown before the shared-HBM term, in resident order.
+        pre: List[float] = []
+        ci = 0
+        for k in kernels:
+            if k.kind.is_comm:
+                pre.append(base_comm)
+            else:
+                pre.append(excl[ci])
+                ci += 1
+
+        # Shared HBM pressure applies to everyone, scaled by how much of
+        # the bandwidth the kernel itself needs.  Elementwise combine only
+        # — per-element IEEE ops are identical scalar or vectorized, so the
+        # numpy branch is bit-equal to the scalar one.
+        if _np is not None and n >= _VECTOR_MIN_RESIDENT:
+            mems = _np.fromiter(
+                (k.memory_intensity for k in kernels), _np.float64, count=n
+            )
+            vals = _np.asarray(pre) + mem_scale * mems
+            return dict(zip((k.uid for k in kernels), vals.tolist()))
+        return {
+            k.uid: p + mem_scale * k.memory_intensity
+            for k, p in zip(kernels, pre)
+        }
 
 
 def default_contention_for(node_name: str) -> DefaultContention:

@@ -69,6 +69,10 @@ class Engine:
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        #: The ``until`` bound of the active run() call (None outside run or
+        #: for unbounded runs) — the timeline fast path refuses to commit a
+        #: batched advance that would jump past it.
+        self._run_until: Optional[float] = None
         self._live_beats = 0
         # O(1) liveness bookkeeping: live entries still on the heap, and
         # cancelled entries (tombstones) not yet swallowed by a pop.
@@ -95,7 +99,15 @@ class Engine:
                 f"cannot schedule event with non-finite delay {delay} us"
             )
         if delay < 0:
-            raise SimulationError(f"cannot schedule event {delay} us in the past")
+            # Same skew tolerance as schedule_at: float-accumulated round
+            # boundaries can land an epsilon short of "now", and rejecting
+            # those while schedule_at(now - 1e-9) accepts them made the two
+            # entry points disagree about the same instant.
+            if delay < -1e-9:
+                raise SimulationError(
+                    f"cannot schedule event {delay} us in the past"
+                )
+            delay = 0.0
         # Inlined schedule_at: with delay >= 0 finite, now + delay is finite
         # and never below now, so its checks and clamp would all be no-ops.
         handle = EventHandle(self.now + delay, callback, self)
@@ -123,6 +135,42 @@ class Engine:
         heapq.heappush(self._heap, (handle.time, priority, next(self._seq), handle))
         self._live += 1
         return handle
+
+    def schedule_many(
+        self,
+        entries: "List[Tuple[float, int, Callable[[], None]]]",
+    ) -> List[EventHandle]:
+        """Batch-schedule ``(time, priority, callback)`` triples.
+
+        The batched counterpart of :meth:`schedule_at` — one call splices a
+        whole precomputed timeline into the queue without creating (and then
+        popping) intermediate tombstones.  Relative order among same-instant
+        entries follows list order, exactly as repeated ``schedule_at`` calls
+        would order them.  For splices larger than the live heap the push
+        loop is replaced by one extend-and-heapify pass (same complexity
+        class as building the heap from scratch, far fewer comparisons).
+        """
+        handles: List[EventHandle] = []
+        staged: List[Tuple[float, int, int, EventHandle]] = []
+        for time, priority, callback in entries:
+            if not math.isfinite(time):
+                raise SimulationError(f"non-finite event time: {time}")
+            if time < self.now - 1e-9:
+                raise SimulationError(
+                    f"cannot schedule event at {time} before current time {self.now}"
+                )
+            handle = EventHandle(max(time, self.now), callback, self)
+            staged.append((handle.time, priority, next(self._seq), handle))
+            handles.append(handle)
+        heap = self._heap
+        if len(staged) > len(heap):
+            heap.extend(staged)
+            heapq.heapify(heap)
+        else:
+            for item in staged:
+                heapq.heappush(heap, item)
+        self._live += len(staged)
+        return handles
 
     def heartbeat(
         self,
@@ -198,6 +246,7 @@ class Engine:
         if self._running:
             raise SimulationError("Engine.run is not reentrant")
         self._running = True
+        self._run_until = until
         try:
             processed = 0
             heap = self._heap
@@ -232,17 +281,33 @@ class Engine:
             return self.now
         finally:
             self._running = False
+            self._run_until = None
 
     def step(self) -> bool:
-        """Execute exactly one pending event.  Returns False when idle."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            handle = entry[3]
+        """Execute exactly one pending event.  Returns False when idle.
+
+        Shares :meth:`run`'s inlined consume/tombstone discipline: tombstones
+        are swallowed by peeking at the root (so a cancel arriving between
+        peek and pop can never decrement the tombstone count twice), the
+        consume is inlined rather than routed through :meth:`_consume`, and
+        the heap reference is re-read after each drain iteration in case a
+        cancellation-triggered compaction swapped the list.
+        """
+        heap = self._heap
+        while heap:
+            handle = heap[0][3]
             if handle.cancelled:
+                heapq.heappop(heap)
                 self._tombstones -= 1
+                heap = self._heap  # compaction may have replaced the list
                 continue
+            entry = heapq.heappop(heap)
             self.now = entry[0]
-            callback = self._consume(handle)
+            # Inlined _consume — identical to run()'s hot loop.
+            self._live -= 1
+            callback = handle.callback
+            handle.cancelled = True
+            handle.callback = None
             if callback is not None:
                 callback()
             self._events_processed += 1
@@ -264,7 +329,9 @@ class Engine:
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None when idle."""
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
             self._tombstones -= 1
-        return self._heap[0][0] if self._heap else None
+            heap = self._heap  # compaction may have replaced the list
+        return heap[0][0] if heap else None

@@ -43,10 +43,21 @@ from repro.sim.kernel import CollectiveOp, Kernel
 from repro.sim.stream import Command, CommandKind, Stream, _fast_command
 from repro.sim.tracing import Trace
 
+try:  # pragma: no cover - the container bakes numpy into the toolchain
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = ["Machine", "Gpu"]
 
 _EPS = 1e-6
 _ready_seq = itertools.count()
+
+#: Active-set size past which progress banking runs on numpy arrays.  The
+#: gather/scatter has fixed cost, so typical decode sets stay scalar; the
+#: branches are bit-identical because banking is purely elementwise
+#: (``remaining - dt / slowdown`` per kernel — no cross-kernel reduction).
+_VECTOR_MIN_ACTIVE = 32
 
 # Hoisted enum members: the pump compares command kinds ~100k times per
 # simulated second of decode, and a module-global load beats two attribute
@@ -219,6 +230,17 @@ class Machine:
             (lambda gid=g.gpu_id: self._schedule_pump(gid)) for g in self.gpus
         ]
         self.kernels_completed = 0
+        # Timeline fast path bookkeeping (repro.sim.timeline): when tracking
+        # is armed, every pump/kick/deferred handle this machine schedules is
+        # appended here so the window compiler can discover its seed events
+        # in O(1) instead of scanning the engine heap.  Fired handles are
+        # consumed (cancelled) by the engine, so the executor prunes the list
+        # lazily each window.  Completeness is a hit-rate concern only: a
+        # pending machine event that slipped past tracking fails the
+        # compiler's commit-time heap verification and falls back to the
+        # interpreted path.
+        self._track_events = False
+        self._tracked_events: List[EventHandle] = []
         #: Set by :meth:`halt` — a crashed node.  All submission and pump
         #: paths become no-ops; nothing in flight ever completes.
         self.halted = False
@@ -343,18 +365,26 @@ class Machine:
             if self._pump_scheduled.get(gpu_id):
                 return
             self._pump_scheduled[gpu_id] = True
-            self.engine.schedule(0.0, self._run_pump_fns[gpu_id], priority=5)
+            handle = self.engine.schedule(
+                0.0, self._run_pump_fns[gpu_id], priority=5
+            )
         else:
-            self.engine.schedule(delay, self._run_pump_fns[gpu_id], priority=5)
+            handle = self.engine.schedule(
+                delay, self._run_pump_fns[gpu_id], priority=5
+            )
+        if self._track_events:
+            self._tracked_events.append(handle)
 
     def _schedule_avail_pump(self, stream: Stream, command: Command) -> None:
         """Arm one pump at ``command.pump_at`` (dedup'd per stream head)."""
         if stream.avail_pump_at == command.pump_at:
             return
         stream.avail_pump_at = command.pump_at
-        self.engine.schedule_at(
+        handle = self.engine.schedule_at(
             command.pump_at, self._run_pump_fns[stream.gpu_id], priority=5
         )
+        if self._track_events:
+            self._tracked_events.append(handle)
 
     def _run_pump(self, gpu_id: int) -> None:
         self._pump_scheduled[gpu_id] = False
@@ -429,7 +459,9 @@ class Machine:
 
     def _deferred(self, delay: float, callback: Callable[[], None]) -> None:
         """Deferred-call hook handed to CudaEvent.record."""
-        self.engine.schedule(delay, callback, priority=4)
+        handle = self.engine.schedule(delay, callback, priority=4)
+        if self._track_events:
+            self._tracked_events.append(handle)
 
     # ------------------------------------------------------------------
     # Admission: the left-over policy
@@ -501,10 +533,25 @@ class Machine:
             self._last_bank_time = now
             return
         for gpu in self.gpus:
-            for rs in gpu.active_local.values():
-                rem = rs.remaining - dt / rs.slowdown
-                rs.remaining = rem if rem > 0.0 else 0.0
-                rs.stretched += dt
+            active = gpu.active_local
+            if _np is not None and len(active) >= _VECTOR_MIN_ACTIVE:
+                rss = list(active.values())
+                cnt = len(rss)
+                rem = _np.fromiter(
+                    (rs.remaining for rs in rss), _np.float64, cnt
+                ) - dt / _np.fromiter(
+                    (rs.slowdown for rs in rss), _np.float64, cnt
+                )
+                # where() mirrors the scalar branch exactly (including its
+                # NaN-to-zero behaviour); a masked assignment would not.
+                for rs, r in zip(rss, _np.where(rem > 0.0, rem, 0.0).tolist()):
+                    rs.remaining = r
+                    rs.stretched += dt
+            else:
+                for rs in active.values():
+                    rem = rs.remaining - dt / rs.slowdown
+                    rs.remaining = rem if rem > 0.0 else 0.0
+                    rs.stretched += dt
         for crun in self._collectives.values():
             if crun.started_at >= 0.0:
                 rem = crun.remaining - dt / crun.slowdown

@@ -186,3 +186,89 @@ def test_cancelled_subset_never_fires(items):
     eng.run()
     expected = {i for i, (_, cancel) in enumerate(items) if not cancel}
     assert set(fired) == expected
+
+def test_negative_epsilon_delay_clamps_to_now():
+    """schedule() and schedule_at() tolerate the same float-skew epsilon.
+
+    Round boundaries accumulate float error; a delay an epsilon short of
+    zero (or an absolute time an epsilon short of now) must land *at* now
+    rather than raise — and both entry points must agree about the same
+    instant.
+    """
+    eng = Engine()
+    eng.schedule(5.0, lambda: None)
+    eng.run()
+    assert eng.now == 5.0
+    fired = []
+    h1 = eng.schedule(-1e-12, lambda: fired.append("delay"))
+    h2 = eng.schedule_at(eng.now - 5e-10, lambda: fired.append("abs"))
+    assert h1.time == eng.now
+    assert h2.time == eng.now
+    eng.run()
+    assert fired == ["delay", "abs"]
+    # Beyond the tolerance both still reject.
+    with pytest.raises(SimulationError):
+        eng.schedule(-1e-8, lambda: None)
+    with pytest.raises(SimulationError):
+        eng.schedule_at(eng.now - 1e-8, lambda: None)
+
+
+def test_schedule_many_matches_repeated_schedule_at():
+    """A batch splice fires in exactly the order repeated schedule_at gives."""
+    entries = [(3.0, 0, "c"), (1.0, 0, "a"), (1.0, 1, "b"), (3.0, 0, "d")]
+
+    seq_eng = Engine()
+    seq_fired = []
+    for t, p, tag in entries:
+        seq_eng.schedule_at(t, lambda tag=tag: seq_fired.append(tag), priority=p)
+    seq_eng.run()
+
+    many_eng = Engine()
+    many_fired = []
+    handles = many_eng.schedule_many(
+        [(t, p, lambda tag=tag: many_fired.append(tag)) for t, p, tag in entries]
+    )
+    assert len(handles) == len(entries)
+    many_eng.run()
+    assert many_fired == seq_fired == ["a", "b", "c", "d"]
+
+
+def test_schedule_many_big_splice_heapifies():
+    """Splices larger than the live heap take the extend-and-heapify path."""
+    eng = Engine()
+    eng.schedule(100.0, lambda: None)  # one pre-existing entry
+    fired = []
+    n = 50
+    eng.schedule_many(
+        [(float(i % 7), 0, lambda i=i: fired.append(i)) for i in range(n)]
+    )
+    assert eng.pending == n + 1
+    eng.run()
+    assert len(fired) == n
+    # Same-instant entries keep list order within each timestamp bucket.
+    assert fired == sorted(range(n), key=lambda i: (i % 7, i))
+
+
+def test_schedule_many_rejects_past_and_nonfinite():
+    eng = Engine()
+    eng.schedule(5.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.schedule_many([(1.0, 0, lambda: None)])
+    with pytest.raises(SimulationError):
+        eng.schedule_many([(float("inf"), 0, lambda: None)])
+
+
+def test_step_consumes_tombstones_like_run():
+    """step() shares run()'s pop path: tombstones swallowed, peek consistent."""
+    eng = Engine()
+    h1 = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: pytest.fail("never advanced this far"))
+    fired = []
+    eng.schedule(1.5, lambda: fired.append("mid"))
+    h1.cancel()
+    assert eng.peek_time() == 1.5
+    assert eng.step() is True
+    assert fired == ["mid"]
+    assert eng.now == 1.5
+    assert eng.peek_time() == 2.0

@@ -1,0 +1,297 @@
+"""Compiled-timeline fast path: equivalence matrix + executor unit tests.
+
+The non-negotiable contract of :mod:`repro.sim.timeline` is that the fast
+path is *bit-identical* to the interpreted path: for any scenario, running
+with ``enable_timeline_replay=True`` must produce exactly the trace that
+``enable_timeline_replay=False`` produces — same rows, same float bits.
+The matrix here covers all four servers x both scheduling policies x
+caches on/off, fingerprinting each arm with the golden-trace digest.
+
+The flag only exists on :class:`~repro.core.LigerConfig`, so the matrix is
+liger-only by construction: the intra strategy has no LigerRuntime and no
+HYBRID window structure, hence nothing to replay — its goldens in
+``tests/test_session.py`` already pin that path.
+
+The executor unit tests cover the adaptive profitability gate (EMA of
+events/window decides whether compiling a window is worth the fixed
+cost), the bail guards, and the counter surface exported through
+``strategy.perf_counters()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from serving_goldens import fingerprint, run_scenario
+
+from repro.core import LigerConfig
+
+SERVERS = ("server", "lifecycle", "static", "continuous")
+POLICIES = ("dichotomy", "expert_overlap")
+
+
+def _config(policy: str, caches: bool, replay: bool) -> LigerConfig:
+    return LigerConfig(
+        policy=policy,
+        enable_plan_cache=caches,
+        enable_assembly_cache=caches,
+        enable_sim_memos=caches,
+        enable_timeline_replay=replay,
+    )
+
+
+class TestReplayEquivalenceMatrix:
+    """Fast path on/off must fingerprint identically, every combination."""
+
+    @pytest.mark.parametrize("server", SERVERS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("caches", [True, False], ids=["cache_on", "cache_off"])
+    def test_replay_on_off_identical(self, server, policy, caches):
+        _, trace_on = run_scenario(
+            server, "liger", cache_off=not caches,
+            liger_config=_config(policy, caches, replay=True),
+        )
+        _, trace_off = run_scenario(
+            server, "liger", cache_off=not caches,
+            liger_config=_config(policy, caches, replay=False),
+        )
+        assert fingerprint(trace_on) == fingerprint(trace_off)
+
+    def test_default_config_matches_golden(self):
+        """Replay defaults on; the committed goldens must still hold."""
+        import json
+
+        from serving_goldens import GOLDEN_PATH
+
+        with open(GOLDEN_PATH, encoding="utf-8") as fh:
+            goldens = json.load(fh)
+        _, trace = run_scenario(
+            "continuous", "liger",
+            liger_config=_config("dichotomy", caches=True, replay=True),
+        )
+        assert fingerprint(trace) == goldens["continuous/liger"]
+
+
+def _bound_strategy(replay: bool = True, **cfg):
+    """Returns (strategy, server): building the server binds the strategy,
+    which is when the runtime (and its TimelineExecutor) come to exist."""
+    from repro.hw import v100_nvlink_node
+    from repro.models import OPT_30B
+    from repro.serving.api import make_strategy
+    from repro.serving.generation import ContinuousBatchingServer
+
+    model, node = OPT_30B.scaled_layers(4), v100_nvlink_node(4)
+    strat = make_strategy(
+        "liger", model, node,
+        config=LigerConfig(enable_timeline_replay=replay, **cfg),
+    )
+    srv = ContinuousBatchingServer(
+        model, node, strat, max_batch=8, pipeline_depth=2, check_memory=False
+    )
+    return strat, srv
+
+
+class TestExecutorCounters:
+    def test_counters_present_and_active(self):
+        """A real run replays windows and reports it through perf_counters."""
+        from repro.serving.generation import generation_workload
+
+        strat, srv = _bound_strategy()
+        srv.run(generation_workload(8, 200.0, seed=0))
+        counters = strat.perf_counters()
+        for key in (
+            "timeline_builds",
+            "timeline_replays",
+            "timeline_bails",
+            "batched_events",
+            "fanout_workers",
+        ):
+            assert key in counters, key
+        assert counters["timeline_builds"] >= 1
+        assert counters["timeline_replays"] >= 1
+        assert counters["batched_events"] >= counters["timeline_replays"]
+        assert counters["fanout_workers"] == 0
+
+    def test_replay_off_has_no_timeline_counters(self):
+        """With the flag off the runtime builds no executor at all."""
+        strat, _ = _bound_strategy(replay=False)
+        assert strat.runtime.timeline is None
+        counters = strat.perf_counters()
+        assert "timeline_builds" not in counters
+        assert "timeline_replays" not in counters
+        # fanout provenance is reported regardless of the replay flag.
+        assert counters["fanout_workers"] == 0
+
+
+class TestAdaptiveGate:
+    """The EMA profitability gate skips compilation on unprofitable windows."""
+
+    def _executor(self):
+        from repro.sim.timeline import TimelineExecutor
+
+        strat, _ = _bound_strategy()
+        return TimelineExecutor(strat.runtime.machine)
+
+    def test_gate_skips_after_warmup_below_threshold(self, monkeypatch):
+        import repro.sim.timeline as tl
+
+        ex = self._executor()
+        monkeypatch.setattr(tl, "_GATE_WARMUP", 4)
+        monkeypatch.setattr(tl, "_GATE_PROBE_EVERY", 10)
+        # Pretend warmup completed with a hopeless average.
+        ex.timeline_replays = 4
+        ex._window_avg = 1.0
+
+        class _Boom(Exception):
+            pass
+
+        def explode(*a, **k):  # compilation must never be reached while gated
+            raise _Boom
+
+        monkeypatch.setattr(ex, "_compile", explode)
+        sentinel = object()
+        # 9 gated calls return False without compiling; the 10th probes.
+        for _ in range(tl._GATE_PROBE_EVERY - 1):
+            assert ex.fast_forward(sentinel) is False
+        with pytest.raises(_Boom):
+            ex.fast_forward(sentinel)
+
+    def test_gate_open_during_warmup(self, monkeypatch):
+        import repro.sim.timeline as tl
+
+        ex = self._executor()
+        ex._window_avg = 0.0  # hopeless average, but...
+        ex.timeline_replays = 0  # ...still in warmup: must attempt compile.
+
+        class _Boom(Exception):
+            pass
+
+        monkeypatch.setattr(
+            ex, "_compile", lambda *a, **k: (_ for _ in ()).throw(_Boom())
+        )
+        with pytest.raises(_Boom):
+            ex.fast_forward(object())
+
+    def test_profitable_average_keeps_gate_open(self, monkeypatch):
+        import repro.sim.timeline as tl
+
+        ex = self._executor()
+        ex.timeline_replays = 100
+        ex._window_avg = tl._GATE_MIN_AVG + 1.0
+
+        class _Boom(Exception):
+            pass
+
+        monkeypatch.setattr(
+            ex, "_compile", lambda *a, **k: (_ for _ in ()).throw(_Boom())
+        )
+        with pytest.raises(_Boom):
+            ex.fast_forward(object())
+
+
+class TestBailGuards:
+    def test_fault_injector_disables_fast_path(self):
+        """Fault-injected machines never take the compiled path."""
+        from repro.faults import FaultInjector
+        from repro.faults.plan import FaultPlan, GpuStraggler
+        from repro.serving.generation import generation_workload
+
+        strat, srv = _bound_strategy()
+        plan = FaultPlan(
+            [GpuStraggler(start=500.0, end=700.0, gpu=0, factor=2.0)]
+        )
+        FaultInjector(plan).arm(strat.runtime.machine)
+        srv.run(generation_workload(4, 200.0, seed=0))
+        counters = strat.perf_counters()
+        assert counters.get("timeline_replays", 0) == 0
+
+    def test_observer_heartbeats_still_bit_identical(self):
+        """Foreign low-priority events (heartbeats) force bails, not drift."""
+        from repro.obs.observability import Observability
+        from repro.serving.session import ServingConfig
+
+        _, trace_on = run_scenario(
+            "continuous", "liger",
+            liger_config=_config("dichotomy", caches=True, replay=True),
+            config=ServingConfig(observability=Observability(), record_trace=True),
+        )
+        _, trace_off = run_scenario(
+            "continuous", "liger",
+            liger_config=_config("dichotomy", caches=True, replay=False),
+            config=ServingConfig(observability=Observability(), record_trace=True),
+        )
+        assert fingerprint(trace_on) == fingerprint(trace_off)
+
+class TestGaugeExport:
+    def test_timeline_gauges_in_prometheus_export(self):
+        """Satellite: timeline + fanout counters ride the repro_perf_* section."""
+        from repro.obs import Observability
+        from repro.serving import ServingConfig
+
+        from repro.hw import v100_nvlink_node
+        from repro.models import MODELS
+        from repro.serving import ContinuousBatchingServer, generation_workload
+        from repro.serving.api import make_strategy
+        from serving_goldens import reset_batch_ids
+
+        reset_batch_ids()
+        model = MODELS["OPT-13B"].scaled_layers(2)
+        node = v100_nvlink_node(2)
+        strat = make_strategy("liger", model, node, config=LigerConfig())
+        obs = Observability()
+        srv = ContinuousBatchingServer(
+            model, node, strat, max_batch=4, pipeline_depth=2,
+            check_memory=False,
+            config=ServingConfig(observability=obs, record_trace=False),
+        )
+        srv.run(generation_workload(
+            12, 1200.0, context_len=16, gen_tokens=(1, 1), seed=0
+        ))
+        text = obs.to_prometheus()
+        for gauge in (
+            "repro_perf_timeline_builds",
+            "repro_perf_timeline_replays",
+            "repro_perf_timeline_bails",
+            "repro_perf_batched_events",
+            "repro_perf_fanout_workers",
+        ):
+            assert gauge in text, gauge
+        counters = strat.perf_counters()
+        builds = counters["timeline_builds"]
+        assert f"repro_perf_timeline_builds {builds}" in text
+        assert "repro_perf_fanout_workers 0" in text
+
+    def test_replay_off_exports_zeroed_timeline_gauges(self):
+        """Without an executor the timeline gauges read 0 (the session
+        registers the full repro_perf_* section unconditionally and the
+        reader defaults missing counters to zero — same contract as the
+        disabled plan cache)."""
+        from repro.obs import Observability
+        from repro.serving import ServingConfig
+
+        from repro.hw import v100_nvlink_node
+        from repro.models import MODELS
+        from repro.serving import ContinuousBatchingServer, generation_workload
+        from repro.serving.api import make_strategy
+        from serving_goldens import reset_batch_ids
+
+        reset_batch_ids()
+        model = MODELS["OPT-13B"].scaled_layers(2)
+        node = v100_nvlink_node(2)
+        strat = make_strategy(
+            "liger", model, node,
+            config=LigerConfig(enable_timeline_replay=False),
+        )
+        obs = Observability()
+        srv = ContinuousBatchingServer(
+            model, node, strat, max_batch=4, pipeline_depth=2,
+            check_memory=False,
+            config=ServingConfig(observability=obs, record_trace=False),
+        )
+        srv.run(generation_workload(6, 400.0, seed=0))
+        text = obs.to_prometheus()
+        assert "repro_perf_timeline_builds 0" in text
+        assert "repro_perf_timeline_replays 0" in text
+        assert "repro_perf_batched_events 0" in text
+        # fanout provenance is independent of the replay flag.
+        assert "repro_perf_fanout_workers 0" in text
