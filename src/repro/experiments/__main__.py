@@ -47,8 +47,12 @@ def main(argv=None) -> int:
 
     if args.workers > 0:
         # Figures fan out like perf scenarios: every figure reseeds its own
-        # workloads, and results print in request order, so the output text
-        # matches a sequential run.
+        # workloads, and results print in request order, so the figure text
+        # matches a sequential run.  Headers carry no per-figure timing (the
+        # sequential loop's one annotation — workers report no comparable
+        # wall time) and no worker marker: provenance is already recorded in
+        # the fanout_workers counter, and decorating the header would make
+        # fanned output gratuitously diff against sequential output.
         from repro.perf.fanout import _figure_task, fanout_map
 
         start = time.time()
@@ -59,7 +63,7 @@ def main(argv=None) -> int:
         )
         elapsed = time.time() - start
         for figure, title, text in results:
-            print(f"\n=== {figure}: {title} [fanned out] ===")
+            print(f"\n=== {figure}: {title} ===")
             print(text)
         print(f"\n{len(results)} figure(s) in {elapsed:.1f}s across "
               f"{min(args.workers, len(names))} workers")

@@ -367,6 +367,20 @@ class TimelineExecutor:
                 real.blocked_on_event = vs.blocked_on
                 real.avail_pump_at = vs.avail_pump_at
 
+        # Blocks established in-window that outlive the window: the
+        # interpreted path registered a per-GPU kick on the event the moment
+        # the WAIT reached the stream head (Machine._pump), so the commit
+        # must register the same waiter on the real event — its eventual
+        # record() otherwise finds no stream waiter and the blocked stream
+        # resumes only on an incidental pump of its GPU, or never.  The
+        # entries left in st.vwaiters are exactly these blocks (_record
+        # popped every event that recorded in-window); pre-window blocks
+        # keep the waiter the interpreted path already registered.
+        kick_pumps = machine._kick_pump_fns
+        for event, gpu_ids in st.vwaiters.items():
+            for gpu_id in gpu_ids:
+                event.add_stream_waiter(kick_pumps[gpu_id])
+
         # CUDA events recorded inside the window.
         for ev, t in st.recorded_events:
             ev.recorded_at = t
@@ -387,27 +401,18 @@ class TimelineExecutor:
         for g, flag in enumerate(st.pump_scheduled):
             machine._pump_scheduled[g] = flag
 
-        # One batched splice for everything that outlives the window.
-        engine._events_processed += st.events_consumed + len(foreign_calls)
-        self.batched_events += st.events_consumed
-        run_pumps = machine._run_pump_fns
-        kick_pumps = machine._kick_pump_fns
-        survivors = [
-            (
-                time,
-                5 if code == _EV_PUMP else 4,
-                run_pumps[data] if code == _EV_PUMP else kick_pumps[data],
-            )
-            for time, code, data in st.survivors
-        ]
-        if survivors:
-            # Survivor handles join the tracked list so the next window
-            # finds them as seeds.
-            machine._tracked_events.extend(engine.schedule_many(survivors))
         # Re-arm the completion timer and the next anchor with inlined
         # schedule_at bodies (two calls per window adds up; the times are
         # finite and >= now by mirror construction, so the entry-point
-        # checks would all be no-ops).
+        # checks would all be no-ops).  This happens BEFORE the survivor
+        # splice: the interpreted path scheduled the anchor at the pre-kick
+        # record, so any surviving kick sharing the anchor's exact
+        # (time, priority) was created later and must draw a later seq —
+        # the mini-sim already consumed every earlier tie-mate in-window,
+        # which is precisely why it survived.  Splicing survivors first
+        # would invert that tie and fire the kick before the anchor.
+        engine._events_processed += st.events_consumed + len(foreign_calls)
+        self.batched_events += st.events_consumed
         seq = engine._seq
         if st.timer_gen > 0:
             # The window superseded the completion timer.  The old handle
@@ -428,6 +433,20 @@ class TimelineExecutor:
         anchor = EventHandle(bound_t, st.anchor_cb, engine)
         heappush(heap, (bound_t, 4, next(seq), anchor))
         engine._live += 1
+        # One batched splice for everything else that outlives the window.
+        run_pumps = machine._run_pump_fns
+        survivors = [
+            (
+                time,
+                5 if code == _EV_PUMP else 4,
+                run_pumps[data] if code == _EV_PUMP else kick_pumps[data],
+            )
+            for time, code, data in st.survivors
+        ]
+        if survivors:
+            # Survivor handles join the tracked list so the next window
+            # finds them as seeds.
+            machine._tracked_events.extend(engine.schedule_many(survivors))
 
         # Emit trace rows and completion-observer calls at their exact
         # simulated instants (observers read engine.now through the host),
@@ -589,7 +608,11 @@ class _WindowSim:
         self._consumed_seed_seqs: List[int] = []
         self.recorded_events: List[Tuple[CudaEvent, float]] = []
         self.vrecorded: Dict[int, float] = {}
-        self.vwaiters: Dict[int, List[int]] = {}
+        # Stream blocks established inside the window, keyed by the event
+        # object (not its id): entries whose event records in-window are
+        # popped by _record; whatever remains at window end is a block that
+        # outlives the window and needs a real stream waiter at commit.
+        self.vwaiters: Dict[CudaEvent, List[int]] = {}
         self.actions: List[Tuple[int, object, float]] = []
         self.survivors: List[Tuple[float, int, int]] = []
 
@@ -675,7 +698,7 @@ class _WindowSim:
             if g is None:
                 raise _Bail  # waiter belonging to another machine
             self._push(now + 0.0, 4, _EV_KICK, g)
-        for g in self.vwaiters.pop(id(event), ()):
+        for g in self.vwaiters.pop(event, ()):
             self._push(now + 0.0, 4, _EV_KICK, g)
         for delay, _cb in event._host_waiters:
             if event is self.pre_kick_event:
@@ -732,7 +755,7 @@ class _WindowSim:
                         progressed = True
                     else:
                         vs.blocked_on = event
-                        self.vwaiters.setdefault(id(event), []).append(
+                        self.vwaiters.setdefault(event, []).append(
                             vgpu.gpu_id
                         )
         if became_ready or vgpu.ready:

@@ -222,6 +222,147 @@ class TestBailGuards:
         )
         assert fingerprint(trace_on) == fingerprint(trace_off)
 
+def _window_machine():
+    """A bare 2-GPU machine suitable for hand-built window programs."""
+    from repro.hw import v100_nvlink_node
+    from repro.sim import Engine, Machine, NullContention, Trace
+
+    return Machine(
+        v100_nvlink_node(2), Engine(),
+        contention=NullContention(), trace=Trace(),
+    )
+
+
+def _kernel(name, dur, occ=0.4):
+    from repro.sim import Kernel, KernelKind
+
+    return Kernel(
+        name=name, kind=KernelKind.COMPUTE, duration=dur,
+        occupancy=occ, memory_intensity=0.3, batch_id=0,
+    )
+
+
+def _rows(machine):
+    return [(r.name, r.start, r.end) for r in machine.trace.rows]
+
+
+class TestWindowBoundaryBlocks:
+    """Streams that block *inside* a window and stay blocked past its end.
+
+    The interpreted path registers a per-GPU kick on the event the moment
+    the WAIT reaches the stream head (Machine._pump); the commit must
+    install the same waiter on the real event, or the event's later
+    record() kicks nobody and the blocked stream stalls — forever, when
+    its GPU never sees another incidental pump (this program deadlocks
+    without the fix).
+    """
+
+    def _program(self, machine, anchor_times):
+        """Per-GPU skew: gpu1's kernel runs 2x longer than gpu0's, so the
+        anchor (pre-kick + host delay on gpu0) fires while gpu0's secondary
+        stream is still blocked on gpu1's end-of-round record."""
+        from repro.sim import CudaEvent
+
+        a0 = machine.gpu(0).stream("a0")
+        a1 = machine.gpu(0).stream("a1", priority=1)
+        b0 = machine.gpu(1).stream("b0")
+        pre_kick = CudaEvent("prekick")
+        end_g1 = CudaEvent("end@g1")
+        pre_kick.on_host(
+            lambda: anchor_times.append(machine.engine.now), delay=0.5
+        )
+        machine.launch(a0, _kernel("k0", 10.0), available_at=0.0)
+        machine.record_event(a0, pre_kick, available_at=0.0)
+        machine.launch(b0, _kernel("k1", 20.0), available_at=0.0)
+        machine.record_event(b0, end_g1, available_at=0.0)
+        # Blocks in-window (at t=0), unblocks only after the window ends
+        # (end_g1 records at t=20; the window ends at the 10.5 anchor).
+        machine.wait_event(a1, end_g1, available_at=0.0)
+        machine.launch(a1, _kernel("k2", 5.0), available_at=0.0)
+        return pre_kick
+
+    def _run(self, fast):
+        from repro.sim.timeline import TimelineExecutor
+
+        machine = _window_machine()
+        # Built before the program so submit-time pumps are tracked seeds.
+        ex = TimelineExecutor(machine) if fast else None
+        anchor_times = []
+        pre_kick = self._program(machine, anchor_times)
+        if ex is not None:
+            assert ex.fast_forward(pre_kick) is True
+            assert ex.timeline_replays == 1
+        machine.run()
+        return _rows(machine), anchor_times, machine.kernels_completed
+
+    def test_blocked_stream_resumes_after_committed_window(self):
+        rows_fast, anchors_fast, done_fast = self._run(fast=True)
+        rows_interp, anchors_interp, done_interp = self._run(fast=False)
+        assert done_fast == done_interp == 3
+        assert anchors_fast == anchors_interp == [10.5]
+        assert rows_fast == rows_interp
+
+
+class TestAnchorSurvivorTie:
+    """A surviving kick at exactly the anchor instant must fire AFTER the
+    anchor: the interpreted path scheduled the anchor at the pre-kick
+    record, before the kick existed, so the anchor holds the lower seq.
+    The commit must draw the anchor's seq before splicing survivors or the
+    tie inverts in the real engine.
+    """
+
+    def _program(self, machine, observed):
+        """Both GPUs' kernels retire at exactly t=10 off the one completion
+        timer; gpu1's end-of-round record then releases a blocked stream,
+        producing a kick at the anchor's exact (time, priority)."""
+        from repro.sim import CudaEvent
+
+        a0 = machine.gpu(0).stream("a0")
+        b0 = machine.gpu(1).stream("b0")
+        b1 = machine.gpu(1).stream("b1", priority=1)
+        pre_kick = CudaEvent("prekick")
+        end_g1 = CudaEvent("end@g1")
+        # At the anchor instant the interpreted path has NOT yet run the
+        # kick released by end_g1's record — the kick drew a later seq.
+        pre_kick.on_host(
+            lambda: observed.append(
+                (machine.engine.now, bool(machine._pump_scheduled.get(1)))
+            ),
+            delay=0.0,
+        )
+        machine.launch(a0, _kernel("k0", 10.0), available_at=0.0)
+        machine.record_event(a0, pre_kick, available_at=0.0)
+        machine.launch(b0, _kernel("k1", 10.0), available_at=0.0)
+        machine.record_event(b0, end_g1, available_at=0.0)
+        machine.wait_event(b1, end_g1, available_at=0.0)
+        machine.launch(b1, _kernel("k3", 5.0), available_at=0.0)
+        return pre_kick
+
+    def _run(self, fast):
+        from repro.sim.timeline import TimelineExecutor
+
+        machine = _window_machine()
+        # Built before the program so submit-time pumps are tracked seeds.
+        ex = TimelineExecutor(machine) if fast else None
+        observed = []
+        pre_kick = self._program(machine, observed)
+        if ex is not None:
+            assert ex.fast_forward(pre_kick) is True
+            assert ex.timeline_replays == 1
+        machine.run()
+        return _rows(machine), observed, machine.kernels_completed
+
+    def test_anchor_fires_before_same_instant_survivor_kick(self):
+        rows_fast, observed_fast, done_fast = self._run(fast=True)
+        rows_interp, observed_interp, done_interp = self._run(fast=False)
+        assert done_fast == done_interp == 3
+        # (anchor time, "had the survivor kick already run?") — the kick
+        # must not have fired yet in either path.
+        assert observed_interp == [(10.0, False)]
+        assert observed_fast == observed_interp
+        assert rows_fast == rows_interp
+
+
 class TestGaugeExport:
     def test_timeline_gauges_in_prometheus_export(self):
         """Satellite: timeline + fanout counters ride the repro_perf_* section."""
